@@ -1,0 +1,123 @@
+"""Ablation benches for the design choices the paper calls out.
+
+* **Pth sweep** (Sec. III-B): "Choosing high value of Pth provides less
+  number of candidates, however, it increases the ratio of the gates that can
+  be removed from the identified candidates."
+* **Defender effort**: tighter ATPG budgets leave more coverage holes, so the
+  attacker salvages more — the inverse lever on the same mechanism.
+* **Counter width** (Table I): Pft falls steeply with counter bits.
+* **Dummy padding**: disabling it leaves a visible negative differential.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atpg import AtpgConfig
+from repro.bench import c880_like
+from repro.core import (
+    DefenderModel,
+    InsertionConfig,
+    TrojanZeroPipeline,
+    compute_thresholds,
+    salvage,
+)
+from repro.trojan import binomial_tail_at_least
+
+
+def test_ablation_pth_sweep(benchmark, library):
+    """Higher Pth -> fewer candidates, higher removable ratio."""
+
+    def run():
+        circuit = c880_like()
+        th = compute_thresholds(circuit, library)
+        rows = []
+        for pth in (0.96, 0.992, 0.999):
+            res = salvage(
+                th.circuit, th.pattern_sets, library, pth, power_before=th.power
+            )
+            accepted = len(res.accepted_removals())
+            attempted = max(1, len(res.removals))
+            rows.append((pth, res.candidate_count, accepted, accepted / attempted))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'Pth':>6} {'|C|':>5} {'accepted':>9} {'ratio':>7}")
+    for pth, c, acc, ratio in rows:
+        print(f"{pth:>6} {c:>5} {acc:>9} {ratio:>7.2f}")
+    candidates = [c for _, c, _, _ in rows]
+    assert candidates == sorted(candidates, reverse=True)  # fewer as Pth rises
+    # Removable ratio does not degrade as Pth rises (paper's claim).
+    assert rows[-1][3] >= rows[0][3] - 0.05
+
+
+def test_ablation_defender_effort(benchmark, library):
+    """A more thorough defender shrinks the attacker's salvage."""
+
+    def run():
+        rows = []
+        for coverage, max_pats in ((0.90, 48), (0.97, 64), (1.0, None)):
+            defender = DefenderModel(
+                atpg=AtpgConfig(
+                    backtrack_limit=30,
+                    random_blocks=4,
+                    target_coverage=coverage,
+                    max_patterns=max_pats,
+                )
+            )
+            circuit = c880_like()
+            th = compute_thresholds(circuit, library, defender)
+            res = salvage(
+                th.circuit, th.pattern_sets, library, 0.992, power_before=th.power
+            )
+            rows.append((coverage, th.test_set.coverage, res.expendable_gates))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'target':>7} {'achieved':>9} {'Eg':>4}")
+    for target, achieved, eg in rows:
+        print(f"{target:>7} {achieved:>9.3f} {eg:>4}")
+    # Salvage must not grow when the defender gets stronger.
+    assert rows[0][2] >= rows[-1][2]
+
+
+def test_ablation_counter_width_vs_pft(benchmark):
+    """Pft falls by orders of magnitude per added counter bit (Table I trend)."""
+
+    def run():
+        p_edge = 0.004
+        session = 300
+        return [
+            (bits, binomial_tail_at_least(session, p_edge, (1 << bits) - 1))
+            for bits in (2, 3, 4, 5)
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for bits, pft in rows:
+        print(f"  {bits}-bit counter: Pft = {pft:.3e}")
+    values = [pft for _, pft in rows]
+    assert values == sorted(values, reverse=True)
+    assert values[0] / max(values[-1], 1e-300) > 1e3
+
+
+def test_ablation_dummy_padding(benchmark, library):
+    """Without dummy padding the TZ circuit sits visibly below the area cap —
+    the anomaly the paper's Sec. IV.4 padding step exists to hide."""
+
+    def run():
+        results = {}
+        for padding in (False, True):
+            pipeline = TrojanZeroPipeline.default()
+            pipeline.insertion_config = InsertionConfig(dummy_padding=padding)
+            res = pipeline.run(c880_like(), p_threshold=0.992, counter_bits=3)
+            assert res.success
+            results[padding] = res.delta_tz.area_ge
+        return results
+
+    deltas = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\narea left under the cap: unpadded {deltas[False]:.1f} GE, "
+          f"padded {deltas[True]:.1f} GE")
+    assert deltas[True] < deltas[False]
+    assert deltas[True] <= 5.0

@@ -1,0 +1,70 @@
+"""The headline claim (Sec. IV): TrojanZero evades the power-based detectors
+that catch conventional additive HTs — plus this reproduction's ablation
+showing redistribution-aware (structural) detectors defeat it.
+"""
+
+import pytest
+
+from conftest import run_benchmark_cached
+from repro.detect import evasion_experiment
+
+
+@pytest.fixture(scope="module")
+def c499_run(pipeline):
+    return run_benchmark_cached(pipeline, "c499")
+
+
+def test_evasion_paper_mode(benchmark, c499_run, library):
+    report = benchmark.pedantic(
+        evasion_experiment,
+        args=(c499_run.thresholds.circuit, c499_run.insertion.infected, library),
+        kwargs=dict(additive_gates=16, n_chips=40, mode="paper"),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\ngolden flagged:     {report.golden_rates}")
+    print(f"additive flagged:   {report.additive_rates} (+{report.additive_overhead_pct:.2f}% power)")
+    print(f"TrojanZero flagged: {report.trojanzero_rates} ({report.trojanzero_overhead_pct:+.2f}% power)")
+    assert report.additive_detected(min_rate=0.9)
+    assert report.trojanzero_evades(margin=0.1)
+    assert abs(report.trojanzero_overhead_pct) < 1.0
+
+
+def test_evasion_structural_ablation(benchmark, c499_run, library):
+    """Ablation: detectors that see power *redistribution* catch TrojanZero,
+    supporting the paper's closing call for new detection methodologies."""
+    report = benchmark.pedantic(
+        evasion_experiment,
+        args=(c499_run.thresholds.circuit, c499_run.insertion.infected, library),
+        kwargs=dict(additive_gates=16, n_chips=40, mode="structural"),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nstructural-mode TrojanZero flagged: {report.trojanzero_rates}")
+    assert report.additive_detected(min_rate=0.5)
+    assert not report.trojanzero_evades(margin=0.1)
+
+
+def test_evasion_across_benchmarks(benchmark, pipeline, library):
+    """Paper-mode evasion holds on every benchmark, not just c499."""
+
+    def run_all():
+        verdicts = {}
+        for name in ("c432", "c880"):
+            result = run_benchmark_cached(pipeline, name)
+            report = evasion_experiment(
+                result.thresholds.circuit,
+                result.insertion.infected,
+                library,
+                additive_gates=12,
+                n_chips=30,
+                mode="paper",
+            )
+            verdicts[name] = (report.trojanzero_evades(), report.additive_detected())
+        return verdicts
+
+    verdicts = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(f"\nverdicts (evades, additive caught): {verdicts}")
+    for name, (evades, caught) in verdicts.items():
+        assert evades, f"TrojanZero flagged on {name}"
+        assert caught, f"additive HT missed on {name}"

@@ -1,0 +1,88 @@
+"""Fig. 3: minimum power/area overheads the baseline detectors need.
+
+The paper motivates TrojanZero by showing the state-of-the-art power-based
+methods only detect HTs whose footprint exceeds some minimum overhead
+(observation points X, Y1/Y2, A1-A3 on the c499 benchmark).  This bench
+sweeps additive-HT sizes on the c499-class circuit, fabricates 40-chip
+populations under process variation, and reports the first sweep point each
+detector flags reliably — together with that point's dynamic/leakage/area
+overheads (the paper's paired bars).
+"""
+
+import pytest
+
+from repro.bench import c499_like
+from repro.detect import (
+    calibrate_detectors,
+    minimum_detectable_overhead,
+    sweep_additive_overheads,
+)
+from repro.power import optimize_netlist
+
+GATE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def sweep(library):
+    golden = optimize_netlist(c499_like())
+    bench = calibrate_detectors(golden, library, n_golden=40, seed=11)
+    points = sweep_additive_overheads(
+        golden, library, bench, gate_counts=GATE_COUNTS, n_chips=40, seed=29
+    )
+    return bench, points
+
+
+def test_fig3_sweep(benchmark, sweep):
+    bench_detectors, points = sweep
+    points = benchmark.pedantic(lambda: points, rounds=1, iterations=1)
+    print()
+    print(f"{'gates':>5} {'dyn%':>7} {'leak%':>7} {'area%':>7}   rad   glc  chen")
+    for p in points:
+        r = p.detection_rates
+        print(
+            f"{p.n_extra_gates:>5} {p.dynamic_overhead_pct:>7.3f} "
+            f"{p.leakage_overhead_pct:>7.3f} {p.area_overhead_pct:>7.3f}   "
+            f"{r['rad']:.2f}  {r['glc']:.2f}  {r['chen']:.2f}"
+        )
+    # Detection rate must grow with overhead for every detector.
+    for det in ("rad", "glc", "chen"):
+        rates = [p.detection_rates[det] for p in points]
+        assert rates[-1] >= rates[0]
+        assert rates[-1] >= 0.9  # a 32-gate additive HT is unmistakable
+
+
+@pytest.mark.parametrize(
+    "detector,max_dynamic_pct",
+    [
+        ("rad", 2.5),   # paper point X: ~0.27% dynamic; our model: ~1-2%
+        ("chen", 6.0),  # paper point Y1 leakage band
+        ("glc", 10.0),  # paper point Y2: least sensitive
+    ],
+)
+def test_fig3_minimum_overheads(benchmark, sweep, detector, max_dynamic_pct):
+    _, points = sweep
+    hit = benchmark.pedantic(
+        minimum_detectable_overhead, args=(points, detector), rounds=1, iterations=1
+    )
+    assert hit is not None, f"{detector} never reached 50% detection"
+    print(
+        f"\n{detector}: min detectable overhead = +{hit.dynamic_overhead_pct:.2f}% dyn, "
+        f"+{hit.leakage_overhead_pct:.2f}% leak, +{hit.area_overhead_pct:.2f}% area "
+        f"({hit.n_extra_gates} gates)"
+    )
+    assert hit.dynamic_overhead_pct <= max_dynamic_pct
+
+
+def test_fig3_sensitivity_ordering(benchmark, sweep):
+    """Paper Fig. 3 ordering: the transient-power method [10] needs the least
+    overhead; GLC [11] the most."""
+    _, points = sweep
+    mins = benchmark.pedantic(
+        lambda: {
+            d: minimum_detectable_overhead(points, d) for d in ("rad", "glc", "chen")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert mins["rad"].n_extra_gates <= mins["chen"].n_extra_gates
+    assert mins["chen"].n_extra_gates <= mins["glc"].n_extra_gates

@@ -1,0 +1,60 @@
+"""Table I: TrojanZero analysis for the five ISCAS85-class benchmarks.
+
+One bench per table row.  Each bench runs the complete Fig. 2 flow
+(thresholds -> Algorithm 1 -> Algorithm 2) with the paper's per-circuit
+parameters, times it, prints the row, and asserts the paper's shape:
+
+* insertion succeeds with the paper's counter size;
+* total power and area obey N' < N'' <= N (within 1%);
+* every power component of N'' stays at its HT-free threshold;
+* Pft stays in the paper's sub-1e-3 stealth band.
+"""
+
+import pytest
+
+from conftest import PAPER_PARAMETERS, run_benchmark_cached
+from repro.core import TableRow, format_row, format_table
+
+
+def _assert_row_shape(result):
+    assert result.success, result.insertion.attempts[-5:]
+    n = result.power_free
+    n_prime = result.power_modified
+    n_inf = result.power_infected
+    assert n_prime.total_uw < n.total_uw
+    assert n_prime.area_ge < n.area_ge
+    assert n_inf.total_uw <= 1.01 * n.total_uw
+    assert n_inf.area_ge <= 1.01 * n.area_ge
+    assert n_inf.total_uw > n_prime.total_uw
+    assert n_inf.dynamic_uw <= 1.02 * n.dynamic_uw
+    assert n_inf.leakage_uw <= 1.02 * n.leakage_uw
+    assert result.salvage.candidate_count > 0
+    assert result.salvage.expendable_gates > 0
+    assert result.pft is not None and result.pft < 1e-3
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_PARAMETERS))
+def test_table1_row(benchmark, pipeline, name):
+    result = benchmark.pedantic(
+        run_benchmark_cached, args=(pipeline, name), rounds=1, iterations=1
+    )
+    _assert_row_shape(result)
+    print()
+    print(format_row(TableRow.from_result(result)))
+
+
+def test_table1_full(benchmark, table1_results):
+    """Assemble and print the complete Table I reproduction."""
+    rows = benchmark.pedantic(
+        lambda: [TableRow.from_result(r) for r in table1_results.values()],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows))
+    # Paper observation 2 (circuit complexity vs salvaged cost): the two
+    # large circuits expose at least as many expendable gates as the small ones.
+    eg = {r.circuit: r.expendable for r in rows}
+    assert max(eg["c1908_like"], eg["c3540_like"]) >= max(
+        eg["c432_like"], eg["c499_like"]
+    )

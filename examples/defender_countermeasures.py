@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""What *does* defeat TrojanZero?  The defenses the paper's conclusion asks for.
+
+The paper shows TrojanZero evades power/area side-channel detection, and
+closes by calling for "more sophisticated and viable techniques".  This
+example runs three such techniques from this library against a real
+TZ-infected circuit:
+
+1. **Pre-silicon equivalence checking** (SAT sweeping) — compares the
+   modified netlist against the golden one and finds the functional edit
+   (or proves the removals were genuinely redundant logic).
+2. **MERO N-detect logic testing** — excites rare nodes repeatedly, pumping
+   the Trojan's counter clock; shows how counter width trades against it.
+3. **Delay side channel** — static timing analysis shows the TZ edit shifts
+   path delays even though power and area match.
+
+Run:  python examples/defender_countermeasures.py
+"""
+
+from repro.atpg import generate_mero_tests, mero_trigger_exposure
+from repro.bench import c432_like
+from repro.core import TrojanZeroPipeline
+from repro.core.insertion import rank_trigger_sources, rank_victims
+from repro.power import DelayDetector, static_timing, tech65_library
+from repro.trojan import insert_counter_trojan
+from repro.verify.sweep import sat_sweep_equivalence
+
+
+def main() -> None:
+    library = tech65_library()
+    pipeline = TrojanZeroPipeline.default()
+    result = pipeline.run(c432_like(), p_threshold=0.975, counter_bits=2)
+    assert result.success
+    golden = result.thresholds.circuit
+    print(result.summary())
+
+    # ------------------------------------------------------------------
+    print("\n1. Pre-silicon equivalence checking (SAT sweeping)")
+    check = sat_sweep_equivalence(golden, result.salvage.modified)
+    print(f"   golden vs modified N': {check.status.value}")
+    if check.counterexample:
+        print(f"   differing output {check.differing_output}; the defender has a")
+        print("   concrete vector proving the netlist was tampered with.")
+    else:
+        print("   (every salvaged gate was provably redundant logic — removal")
+        print("   is functionally invisible even to formal comparison)")
+
+    # ------------------------------------------------------------------
+    print("\n2. MERO-style N-detect logic testing")
+    mero = generate_mero_tests(golden, rare_threshold=0.95, n_target=4)
+    print(f"   {mero.n_patterns} vectors exciting "
+          f"{len(mero.rare_node_list)} rare nodes >= 4x each")
+    victim = rank_victims(golden, 1)[0]
+    # Fix the clock source across widths: the most-exercisable rare node (the
+    # attacker's best trigger if they did NOT anticipate an N-detect defender).
+    source = rank_trigger_sources(
+        golden, 0.95, 1, edges_to_fire=1, session_vectors=1, pft_budget=1.0
+    )[0]
+    for bits in (1, 2, 4):
+        infected = golden.copy(f"tz{bits}")
+        inst = insert_counter_trojan(infected, victim, source, bits)
+        exposure = mero_trigger_exposure(
+            infected, inst.clock_source, inst.trigger_net, mero, shuffles=12
+        )
+        print(f"   {bits}-bit counter: triggered in {100 * exposure:.0f}% of "
+              "shuffled MERO sessions")
+
+    # ------------------------------------------------------------------
+    print("\n3. Delay side channel (static timing analysis)")
+    golden_timing = static_timing(golden, library)
+    infected_timing = static_timing(result.insertion.infected, library)
+    shift = (
+        100.0
+        * (infected_timing.critical_delay_ps - golden_timing.critical_delay_ps)
+        / golden_timing.critical_delay_ps
+    )
+    print(f"   critical path: {golden_timing.critical_delay_ps:.0f} ps -> "
+          f"{infected_timing.critical_delay_ps:.0f} ps ({shift:+.1f}%)")
+    detector = DelayDetector()
+    detector.calibrate(golden_timing, n_chips=40)
+    rate = detector.detection_rate(infected_timing, n_chips=40)
+    print(f"   one-sided (slow-only) delay detector flags {100 * rate:.0f}% "
+          "of TZ chips;")
+    print("   the full delay signature shift shows power/area matching does "
+          "not extend to timing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table I across all five ISCAS85-class benchmarks.
+
+For each benchmark this runs the complete TrojanZero flow with the paper's
+per-circuit parameters (Pth and counter width from Table I) and prints the
+same columns the paper reports: candidates C, expendable gates Eg, HT size,
+total power and area of the HT-free (N), modified (N') and TZ-infected (N'')
+circuits, and the functional-test trigger probability Pft.
+
+Run:  python examples/full_evaluation.py          (~1 minute)
+"""
+
+import time
+
+from repro.bench import BENCHMARKS
+from repro.core import TableRow, TrojanZeroPipeline, format_table
+
+#: The paper's Table I parameters: benchmark -> (Pth, counter bits).
+PAPER_PARAMETERS = {
+    "c432": (0.975, 2),
+    "c499": (0.993, 3),
+    "c880": (0.992, 3),
+    "c1908": (0.9986, 5),
+    "c3540": (0.992, 5),
+}
+
+#: Paper's reported values for side-by-side comparison.
+PAPER_TABLE1 = {
+    "c432": dict(C=8, Eg=5, PN=35.6, PNp=20.83, PNpp=27.7, AN=186.8, ANpp=163, Pft=0.9e-4),
+    "c499": dict(C=12, Eg=7, PN=181.9, PNp=173.4, PNpp=177.4, AN=463.4, ANpp=451.5, Pft=6.1e-6),
+    "c880": dict(C=27, Eg=11, PN=77.2, PNp=70.2, PNpp=76.4, AN=365.4, ANpp=362.8, Pft=8.0e-6),
+    "c1908": dict(C=43, Eg=45, PN=160.9, PNp=151.6, PNpp=157.4, AN=454.7, ANpp=453.6, Pft=6.1e-8),
+    "c3540": dict(C=41, Eg=57, PN=248.5, PNp=187.2, PNpp=241.7, AN=986.8, ANpp=980, Pft=2.0e-6),
+}
+
+
+def main() -> None:
+    pipeline = TrojanZeroPipeline.default()
+    rows = []
+    for name, (pth, bits) in PAPER_PARAMETERS.items():
+        start = time.time()
+        result = pipeline.run(BENCHMARKS[name](), p_threshold=pth, counter_bits=bits)
+        rows.append((name, result, time.time() - start))
+        status = "ok" if result.success else "FAILED"
+        print(f"  {name}: {status} [{rows[-1][2]:.1f}s]")
+
+    print()
+    print(format_table([TableRow.from_result(r) for _, r, _ in rows]))
+
+    print("\nShape checks against the paper's Table I:")
+    for name, result, _ in rows:
+        paper = PAPER_TABLE1[name]
+        ok_order = (
+            result.power_modified.total_uw
+            < result.power_infected.total_uw
+            <= result.power_free.total_uw * 1.01
+            if result.success
+            else False
+        )
+        ok_pft = result.pft is not None and result.pft < 1e-3
+        ratio_here = result.power_infected.total_uw / result.power_free.total_uw
+        ratio_paper = paper["PNpp"] / paper["PN"]
+        print(
+            f"  {name}: N'<N''<=N {'yes' if ok_order else 'NO'} | "
+            f"P(N'')/P(N) = {ratio_here:.3f} (paper {ratio_paper:.3f}) | "
+            f"Pft {result.pft:.1e} (paper {paper['Pft']:.1e}) "
+            f"{'< 1e-3 ok' if ok_pft else 'VIOLATION'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

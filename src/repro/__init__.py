@@ -1,0 +1,24 @@
+"""TrojanZero (DATE 2019) reproduction.
+
+A complete Python toolkit for switching-activity-aware design of hardware
+Trojans with zero power and area footprint, including every substrate the
+paper's flow depends on: gate-level netlists, logic simulation, signal
+probability analysis, stuck-at ATPG (PODEM + fault simulation), a 65nm-class
+cell library with power/area models, a hardware-Trojan library, the
+TrojanZero salvage/insertion algorithms, and power-based detection baselines.
+
+Quickstart::
+
+    from repro.bench import c880_like
+    from repro.core import TrojanZeroPipeline
+
+    pipeline = TrojanZeroPipeline.default()
+    result = pipeline.run(c880_like(), p_threshold=0.992, counter_bits=3)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from . import atpg, bench, netlist, power, prob, sim  # noqa: F401
+
+__all__ = ["atpg", "bench", "netlist", "power", "prob", "sim", "__version__"]

@@ -1,0 +1,123 @@
+"""Three-valued logic kernel for the D-calculus.
+
+PODEM tracks two parallel planes — the *good* circuit and the *faulty*
+circuit — each in three-valued logic {0, 1, X}.  The classic five D-calculus
+symbols fall out of the pair: D = (good 1, faulty 0), D̄ = (0, 1), and 0/1/X
+when the planes agree.
+
+Values are plain ints: 0, 1, and :data:`X` (= 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..netlist.gate import GateType
+
+#: The unknown value.
+X = 2
+
+
+def v_and(values: Sequence[int]) -> int:
+    """3-valued AND: 0 dominates, then X, else 1."""
+    saw_x = False
+    for v in values:
+        if v == 0:
+            return 0
+        if v == X:
+            saw_x = True
+    return X if saw_x else 1
+
+
+def v_or(values: Sequence[int]) -> int:
+    """3-valued OR: 1 dominates, then X, else 0."""
+    saw_x = False
+    for v in values:
+        if v == 1:
+            return 1
+        if v == X:
+            saw_x = True
+    return X if saw_x else 0
+
+
+def v_xor(values: Sequence[int]) -> int:
+    """3-valued XOR: any X poisons the parity."""
+    acc = 0
+    for v in values:
+        if v == X:
+            return X
+        acc ^= v
+    return acc
+
+
+def v_not(value: int) -> int:
+    if value == X:
+        return X
+    return 1 - value
+
+
+def v_mux(d0: int, d1: int, sel: int) -> int:
+    if sel == 0:
+        return d0
+    if sel == 1:
+        return d1
+    if d0 == d1 and d0 != X:
+        return d0
+    return X
+
+
+def evaluate3(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """3-valued evaluation of any combinational gate type."""
+    if gate_type is GateType.AND:
+        return v_and(inputs)
+    if gate_type is GateType.NAND:
+        return v_not(v_and(inputs))
+    if gate_type is GateType.OR:
+        return v_or(inputs)
+    if gate_type is GateType.NOR:
+        return v_not(v_or(inputs))
+    if gate_type is GateType.XOR:
+        return v_xor(inputs)
+    if gate_type is GateType.XNOR:
+        return v_not(v_xor(inputs))
+    if gate_type is GateType.NOT:
+        return v_not(inputs[0])
+    if gate_type is GateType.BUFF:
+        return inputs[0]
+    if gate_type is GateType.MUX:
+        return v_mux(inputs[0], inputs[1], inputs[2])
+    if gate_type is GateType.TIE0:
+        return 0
+    if gate_type is GateType.TIE1:
+        return 1
+    raise ValueError(f"cannot evaluate {gate_type} in 3-valued logic")
+
+
+#: Controlling input value per gate family (None when no single value controls).
+CONTROLLING_VALUE: Dict[GateType, int] = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+#: Does the gate invert its natural AND/OR/XOR core?
+INVERTS: Dict[GateType, bool] = {
+    GateType.AND: False,
+    GateType.NAND: True,
+    GateType.OR: False,
+    GateType.NOR: True,
+    GateType.XOR: False,
+    GateType.XNOR: True,
+    GateType.NOT: True,
+    GateType.BUFF: False,
+}
+
+
+def d_symbol(good: int, faulty: int) -> str:
+    """Render a (good, faulty) pair as the classic five-valued symbol."""
+    if good == X or faulty == X:
+        return "X"
+    if good == faulty:
+        return str(good)
+    return "D" if good == 1 else "D'"

@@ -1,0 +1,147 @@
+"""Single stuck-at fault model and structural fault-list collapsing.
+
+Faults are modelled at net granularity (stem faults): net ``s`` stuck-at
+``v``.  This matches how TrojanZero's circuit edit maps onto the fault model —
+tying net ``s`` to constant ``v`` *is* the fault ``s`` stuck-at ``v`` made
+permanent — so the defender's stuck-at test set covers the edit exactly when
+it covers that fault.
+
+Equivalence collapsing uses the classic structural rules on fanout-free
+connections (an AND input stuck-at-0 is equivalent to its output stuck-at-0,
+a NAND input stuck-at-0 to the output stuck-at-1, inverters/buffers collapse
+both polarities), implemented with union-find over (net, value) nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+
+
+@dataclass(frozen=True, order=True)
+class StuckAtFault:
+    """Net ``net`` permanently at logic ``value``."""
+
+    net: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck value must be 0/1, got {self.value!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.net}/sa{self.value}"
+
+
+def full_fault_list(circuit: Circuit, include_inputs: bool = True) -> List[StuckAtFault]:
+    """Both polarities on every net (optionally excluding PI nets)."""
+    faults: List[StuckAtFault] = []
+    for net in circuit.nets:
+        gate = circuit.gate(net)
+        if gate.is_constant:
+            continue
+        if gate.is_input and not include_inputs:
+            continue
+        faults.append(StuckAtFault(net, 0))
+        faults.append(StuckAtFault(net, 1))
+    return faults
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Tuple[str, int], Tuple[str, int]] = {}
+
+    def find(self, item: Tuple[str, int]) -> Tuple[str, int]:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self.find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def union(self, a: Tuple[str, int], b: Tuple[str, int]) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+#: (gate type, controlling input value) -> resulting output value, for the
+#: input-fault ≡ output-fault equivalence rule.
+_EQUIV_RULES: Dict[GateType, Tuple[int, int]] = {
+    GateType.AND: (0, 0),
+    GateType.NAND: (0, 1),
+    GateType.OR: (1, 1),
+    GateType.NOR: (1, 0),
+}
+
+
+def collapse_faults(
+    circuit: Circuit, faults: Optional[Iterable[StuckAtFault]] = None
+) -> List[StuckAtFault]:
+    """Collapse ``faults`` (default: the full list) into equivalence classes.
+
+    Returns one representative per class, chosen as the fault closest to the
+    primary outputs (largest logic level) so that test generation works on
+    the most observable site of each class.
+    """
+    all_faults = list(faults) if faults is not None else full_fault_list(circuit)
+    uf = _UnionFind()
+
+    for gate in circuit.logic_gates():
+        gt = gate.gate_type
+        out = gate.name
+        if gt in (GateType.NOT, GateType.BUFF):
+            src = gate.inputs[0]
+            if len(circuit.fanout(src)) == 1:
+                invert = gt is GateType.NOT
+                uf.union((src, 0), (out, 1 if invert else 0))
+                uf.union((src, 1), (out, 0 if invert else 1))
+        elif gt in _EQUIV_RULES:
+            ctrl, result = _EQUIV_RULES[gt]
+            for src in gate.inputs:
+                if len(circuit.fanout(src)) == 1:
+                    uf.union((src, ctrl), (out, result))
+
+    levels = circuit.levels()
+    by_class: Dict[Tuple[str, int], StuckAtFault] = {}
+    requested: Set[Tuple[str, int]] = {(f.net, f.value) for f in all_faults}
+    for fault in all_faults:
+        root = uf.find((fault.net, fault.value))
+        current = by_class.get(root)
+        if current is None or levels.get(fault.net, 0) > levels.get(current.net, 0):
+            by_class[root] = fault
+    collapsed = sorted(by_class.values())
+    return collapsed
+
+
+def representative_of(
+    circuit: Circuit, fault: StuckAtFault, collapsed: Iterable[StuckAtFault]
+) -> Optional[StuckAtFault]:
+    """Find the collapsed representative equivalent to ``fault`` (or None).
+
+    Re-runs the same union-find construction; intended for analysis code, not
+    inner loops.
+    """
+    uf = _UnionFind()
+    for gate in circuit.logic_gates():
+        gt = gate.gate_type
+        out = gate.name
+        if gt in (GateType.NOT, GateType.BUFF):
+            src = gate.inputs[0]
+            if len(circuit.fanout(src)) == 1:
+                invert = gt is GateType.NOT
+                uf.union((src, 0), (out, 1 if invert else 0))
+                uf.union((src, 1), (out, 0 if invert else 1))
+        elif gt in _EQUIV_RULES:
+            ctrl, result = _EQUIV_RULES[gt]
+            for src in gate.inputs:
+                if len(circuit.fanout(src)) == 1:
+                    uf.union((src, ctrl), (out, result))
+    target = uf.find((fault.net, fault.value))
+    for candidate in collapsed:
+        if uf.find((candidate.net, candidate.value)) == target:
+            return candidate
+    return None

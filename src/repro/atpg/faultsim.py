@@ -1,0 +1,186 @@
+"""Bit-parallel single-stuck-at fault simulation with fault dropping.
+
+Patterns are packed 64 per plain Python int (arbitrary-precision ints make
+mask handling painless).  For each fault, only the fanout cone of the fault
+site is re-simulated against the cached good-circuit values, and simulation
+of a fault stops at the first detecting pattern block ("fault dropping").
+
+This powers (a) the ATPG outer loop (drop every fault a fresh PODEM vector
+detects), (b) coverage reporting, and (c) the reproduction's analysis of
+*which* stuck-at faults the defender's TP set leaves uncovered — the holes
+TrojanZero's removals hide in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gate import GateType
+from .fault import StuckAtFault
+
+_WORD = 64
+
+
+def _blocks(patterns: np.ndarray, inputs: Sequence[str]) -> Iterable[Tuple[Dict[str, int], int, int]]:
+    """Yield (pi -> packed int, n_patterns_in_block, block_start) per 64-row block."""
+    patterns = np.atleast_2d(np.asarray(patterns))
+    n = patterns.shape[0]
+    for start in range(0, n, _WORD):
+        chunk = patterns[start : start + _WORD]
+        words: Dict[str, int] = {}
+        for col, pi in enumerate(inputs):
+            word = 0
+            column = chunk[:, col]
+            for k in range(chunk.shape[0]):
+                if column[k]:
+                    word |= 1 << k
+            words[pi] = word
+        yield words, chunk.shape[0], start
+
+
+def _evaluate_packed_int(gate_type: GateType, ins: List[int], mask: int) -> int:
+    if gate_type is GateType.AND or gate_type is GateType.NAND:
+        acc = ins[0]
+        for w in ins[1:]:
+            acc &= w
+        return (acc ^ mask) if gate_type is GateType.NAND else acc
+    if gate_type is GateType.OR or gate_type is GateType.NOR:
+        acc = ins[0]
+        for w in ins[1:]:
+            acc |= w
+        return (acc ^ mask) if gate_type is GateType.NOR else acc
+    if gate_type is GateType.XOR or gate_type is GateType.XNOR:
+        acc = ins[0]
+        for w in ins[1:]:
+            acc ^= w
+        return (acc ^ mask) if gate_type is GateType.XNOR else acc
+    if gate_type is GateType.NOT:
+        return ins[0] ^ mask
+    if gate_type is GateType.BUFF:
+        return ins[0]
+    if gate_type is GateType.MUX:
+        d0, d1, sel = ins
+        return (d0 & (sel ^ mask)) | (d1 & sel)
+    raise NetlistError(f"cannot fault-simulate gate type {gate_type}")
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of simulating a fault set against a pattern set."""
+
+    detected: Dict[StuckAtFault, int] = field(default_factory=dict)
+    undetected: List[StuckAtFault] = field(default_factory=list)
+    patterns_applied: int = 0
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.undetected)
+        return len(self.detected) / total if total else 1.0
+
+
+class FaultSimulator:
+    """Cone-restricted, 64-way packed stuck-at fault simulator."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        if circuit.is_sequential:
+            raise NetlistError("fault simulation supports combinational circuits only")
+        self.circuit = circuit
+        self._order = circuit.topological_order()
+        self._order_index = {net: i for i, net in enumerate(self._order)}
+        self._outputs = set(circuit.outputs)
+        self._cone_cache: Dict[str, List[str]] = {}
+
+    def _cone(self, net: str) -> List[str]:
+        """Fanout cone of ``net`` in topological order (excluding ``net``)."""
+        cached = self._cone_cache.get(net)
+        if cached is None:
+            cone = self.circuit.fanout_cone(net)
+            cone.discard(net)
+            cached = sorted(cone, key=self._order_index.__getitem__)
+            self._cone_cache[net] = cached
+        return cached
+
+    def _good_values(self, words: Dict[str, int], mask: int) -> Dict[str, int]:
+        values: Dict[str, int] = {}
+        for net in self._order:
+            gate = self.circuit.gate(net)
+            gt = gate.gate_type
+            if gt is GateType.INPUT:
+                values[net] = words[net]
+            elif gt is GateType.TIE0:
+                values[net] = 0
+            elif gt is GateType.TIE1:
+                values[net] = mask
+            else:
+                values[net] = _evaluate_packed_int(
+                    gt, [values[i] for i in gate.inputs], mask
+                )
+        return values
+
+    def _fault_detect_mask(
+        self, fault: StuckAtFault, good: Dict[str, int], mask: int
+    ) -> int:
+        """Bitmask of patterns in the block that detect ``fault``."""
+        stuck_word = mask if fault.value else 0
+        if good[fault.net] == stuck_word:
+            return 0  # never excited in this block
+        faulty: Dict[str, int] = {fault.net: stuck_word}
+        detect = 0
+        for net in self._cone(fault.net):
+            gate = self.circuit.gate(net)
+            ins = [faulty.get(i, good[i]) for i in gate.inputs]
+            value = _evaluate_packed_int(gate.gate_type, ins, mask)
+            if value == good[net]:
+                continue  # effect masked at this gate for all patterns
+            faulty[net] = value
+            if net in self._outputs:
+                detect |= value ^ good[net]
+        if fault.net in self._outputs:
+            detect |= stuck_word ^ good[fault.net]
+        return detect & mask
+
+    def run(
+        self,
+        patterns: np.ndarray,
+        faults: Iterable[StuckAtFault],
+        drop_detected: bool = True,
+    ) -> FaultSimResult:
+        """Simulate ``faults`` against ``patterns`` (rows of 0/1)."""
+        remaining: List[StuckAtFault] = list(faults)
+        result = FaultSimResult()
+        patterns = np.atleast_2d(np.asarray(patterns))
+        result.patterns_applied = patterns.shape[0]
+        for words, n_in_block, start in _blocks(patterns, self.circuit.inputs):
+            if not remaining:
+                break
+            mask = (1 << n_in_block) - 1
+            good = self._good_values(words, mask)
+            still: List[StuckAtFault] = []
+            for fault in remaining:
+                detect = self._fault_detect_mask(fault, good, mask)
+                if detect:
+                    first = (detect & -detect).bit_length() - 1
+                    result.detected[fault] = start + first
+                    if not drop_detected:
+                        still.append(fault)
+                else:
+                    still.append(fault)
+            remaining = still
+        result.undetected = [f for f in remaining if f not in result.detected]
+        return result
+
+    def detects(self, pattern: np.ndarray, fault: StuckAtFault) -> bool:
+        """Does a single pattern detect ``fault``?"""
+        outcome = self.run(np.atleast_2d(pattern), [fault])
+        return fault in outcome.detected
+
+
+def fault_coverage(
+    circuit: Circuit, patterns: np.ndarray, faults: Iterable[StuckAtFault]
+) -> float:
+    """Fraction of ``faults`` detected by ``patterns``."""
+    return FaultSimulator(circuit).run(patterns, faults).coverage

@@ -1,0 +1,70 @@
+"""Random ("bespoke") defender vectors.
+
+Beyond structured ATPG patterns, the paper's defender "may use a set of
+random (bespoke) vectors for validation which are not known to the attacker"
+(Sec. IV).  These generators produce flat and weighted random vector sets and
+the paper's exposure probabilities against them:
+
+* ``Pft`` — probability that the *targeted* HT triggers during random
+  functional testing (Table I, last column);
+* ``Pu = Nu / 2**n`` — probability that a random vector reveals an
+  *untargeted* HT (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+
+
+def flat_random_vectors(
+    n_vectors: int, n_inputs: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Uniform random 0/1 vectors (each input at p = 0.5)."""
+    rng = rng or np.random.default_rng()
+    return (rng.random((n_vectors, n_inputs)) < 0.5).astype(np.uint8)
+
+
+def weighted_random_vectors(
+    n_vectors: int,
+    weights: Sequence[float],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-input biased random vectors (weighted random testing)."""
+    rng = rng or np.random.default_rng()
+    weights_arr = np.asarray(weights, dtype=float)
+    if np.any((weights_arr < 0) | (weights_arr > 1)):
+        raise ValueError("weights must be probabilities in [0, 1]")
+    return (rng.random((n_vectors, len(weights_arr))) < weights_arr).astype(np.uint8)
+
+
+def untargeted_trigger_probability(n_triggering: int, n_inputs: int) -> float:
+    """Eq. 1 of the paper: Pu = Nu / 2**n.
+
+    ``n_triggering`` counts the input combinations that expose the untargeted
+    modification; ``n_inputs`` is the circuit's PI count.
+    """
+    if n_inputs < 0 or n_triggering < 0:
+        raise ValueError("counts must be non-negative")
+    total = float(2**n_inputs)
+    if n_triggering > total:
+        raise ValueError("cannot have more triggering combinations than inputs")
+    return n_triggering / total
+
+
+def count_distinguishing_vectors(
+    golden: Circuit, modified: Circuit, max_inputs: int = 20
+) -> int:
+    """Exhaustively count vectors on which two circuits differ (Nu of Eq. 1)."""
+    from ..sim.bitsim import BitSimulator, exhaustive_patterns
+
+    if len(golden.inputs) > max_inputs:
+        raise ValueError("circuit too wide for exhaustive counting")
+    patterns = exhaustive_patterns(len(golden.inputs))
+    g = BitSimulator(golden).run(patterns)
+    col = {name: i for i, name in enumerate(modified.outputs)}
+    m = BitSimulator(modified).run(patterns)[:, [col[o] for o in golden.outputs]]
+    return int(np.any(g != m, axis=1).sum())

@@ -1,0 +1,153 @@
+"""SCOAP testability measures (Goldstein 1979; Bushnell & Agrawal ch. 6).
+
+Combinational controllability CC0/CC1 (effort to set a net to 0/1) and
+observability CO (effort to propagate a net to a primary output).  The ATPG
+flow uses these to order faults easiest-first, so a coverage- or
+pattern-budgeted run leaves exactly the hard faults untested — the
+rare-excitation faults TrojanZero hides behind.
+
+Conventions: primary inputs cost 1; every gate level adds 1; unreachable
+values get :data:`INFINITY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+from .fault import StuckAtFault
+
+#: Sentinel for uncontrollable/unobservable (kept finite for arithmetic).
+INFINITY = 10**9
+
+
+def _cap(value: float) -> int:
+    return INFINITY if value >= INFINITY else int(value)
+
+
+@dataclass(frozen=True)
+class Testability:
+    """SCOAP measures for one circuit."""
+
+    cc0: Dict[str, int]
+    cc1: Dict[str, int]
+    co: Dict[str, int]
+
+    def controllability(self, net: str, value: int) -> int:
+        return self.cc1[net] if value else self.cc0[net]
+
+    def fault_difficulty(self, fault: StuckAtFault) -> int:
+        """Detection effort: excite to the opposite value, then observe."""
+        excite = self.controllability(fault.net, 1 - fault.value)
+        return _cap(excite + self.co[fault.net])
+
+
+def compute_testability(circuit: Circuit) -> Testability:
+    """SCOAP CC0/CC1/CO for every net of a combinational circuit."""
+    cc0: Dict[str, int] = {}
+    cc1: Dict[str, int] = {}
+
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        gt = gate.gate_type
+        if gt is GateType.INPUT:
+            cc0[net], cc1[net] = 1, 1
+        elif gt is GateType.TIE0:
+            cc0[net], cc1[net] = 0, INFINITY
+        elif gt is GateType.TIE1:
+            cc0[net], cc1[net] = INFINITY, 0
+        elif gt is GateType.DFF:
+            # Treated as a pseudo-input for combinational measures.
+            cc0[net], cc1[net] = 1, 1
+        else:
+            zeros = [cc0[i] for i in gate.inputs]
+            ones = [cc1[i] for i in gate.inputs]
+            c0, c1 = _gate_controllability(gt, zeros, ones)
+            cc0[net], cc1[net] = _cap(c0), _cap(c1)
+
+    co: Dict[str, int] = {net: INFINITY for net in circuit.nets}
+    for po in circuit.outputs:
+        co[po] = 0
+    # Propagate observability backwards (reverse topological order).
+    for net in reversed(circuit.topological_order()):
+        gate = circuit.gate(net)
+        if gate.is_input or gate.is_constant:
+            continue
+        out_co = co[net]
+        if out_co >= INFINITY:
+            continue
+        for idx, src in enumerate(gate.inputs):
+            cost = _input_observability(gate.gate_type, idx, gate.inputs, cc0, cc1)
+            if cost >= INFINITY:
+                continue
+            candidate = _cap(out_co + cost + 1)
+            if candidate < co[src]:
+                co[src] = candidate
+    return Testability(cc0=cc0, cc1=cc1, co=co)
+
+
+def _gate_controllability(
+    gt: GateType, zeros: List[int], ones: List[int]
+) -> Tuple[float, float]:
+    """(CC0, CC1) of a gate output from its inputs' measures."""
+    if gt is GateType.AND:
+        return min(zeros) + 1, sum(ones) + 1
+    if gt is GateType.NAND:
+        return sum(ones) + 1, min(zeros) + 1
+    if gt is GateType.OR:
+        return sum(zeros) + 1, min(ones) + 1
+    if gt is GateType.NOR:
+        return min(ones) + 1, sum(zeros) + 1
+    if gt is GateType.NOT:
+        return ones[0] + 1, zeros[0] + 1
+    if gt is GateType.BUFF:
+        return zeros[0] + 1, ones[0] + 1
+    if gt in (GateType.XOR, GateType.XNOR):
+        # Fold pairwise: cost of parity-0 / parity-1 over the inputs.
+        c0, c1 = zeros[0], ones[0]
+        for z, o in zip(zeros[1:], ones[1:]):
+            even = min(c0 + z, c1 + o)
+            odd = min(c0 + o, c1 + z)
+            c0, c1 = even, odd
+        if gt is GateType.XNOR:
+            c0, c1 = c1, c0
+        return c0 + 1, c1 + 1
+    if gt is GateType.MUX:
+        z0, z1, zs = zeros
+        o0, o1, os_ = ones
+        c0 = min(zs + z0, os_ + z1)
+        c1 = min(zs + o0, os_ + o1)
+        return c0 + 1, c1 + 1
+    raise ValueError(f"no controllability rule for {gt}")
+
+
+def _input_observability(
+    gt: GateType,
+    idx: int,
+    inputs: Tuple[str, ...],
+    cc0: Dict[str, int],
+    cc1: Dict[str, int],
+) -> float:
+    """Side-input sensitization cost to observe ``inputs[idx]`` through a gate."""
+    others = [s for i, s in enumerate(inputs) if i != idx]
+    if gt in (GateType.AND, GateType.NAND):
+        return sum(cc1[s] for s in others)
+    if gt in (GateType.OR, GateType.NOR):
+        return sum(cc0[s] for s in others)
+    if gt in (GateType.NOT, GateType.BUFF):
+        return 0
+    if gt in (GateType.XOR, GateType.XNOR):
+        return sum(min(cc0[s], cc1[s]) for s in others)
+    if gt is GateType.MUX:
+        d0, d1, sel = inputs
+        if idx == 0:  # observe d0: select must be 0
+            return cc0[sel]
+        if idx == 1:  # observe d1: select must be 1
+            return cc1[sel]
+        # observe select: data inputs must differ.
+        return min(cc0[d0] + cc1[d1], cc1[d0] + cc0[d1])
+    if gt is GateType.DFF:
+        return INFINITY  # no combinational observation through state
+    raise ValueError(f"no observability rule for {gt}")

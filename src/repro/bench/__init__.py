@@ -1,0 +1,36 @@
+"""ISCAS85 `.bench` I/O, the exact c17, and ISCAS85-class circuit generators."""
+
+from .c17 import C17_BENCH, c17
+from .generators import Builder, declare_inputs
+from .iscas_extra import c1355_like, c6288_like
+from .iscas_like import (
+    BENCHMARKS,
+    build_benchmark,
+    c432_like,
+    c499_like,
+    c880_like,
+    c1908_like,
+    c3540_like,
+)
+from .parser import BenchParseError, load_bench, parse_bench, save_bench, write_bench
+
+__all__ = [
+    "parse_bench",
+    "load_bench",
+    "write_bench",
+    "save_bench",
+    "BenchParseError",
+    "c17",
+    "C17_BENCH",
+    "Builder",
+    "declare_inputs",
+    "BENCHMARKS",
+    "build_benchmark",
+    "c432_like",
+    "c499_like",
+    "c880_like",
+    "c1908_like",
+    "c3540_like",
+    "c1355_like",
+    "c6288_like",
+]

@@ -1,0 +1,32 @@
+"""The exact ISCAS85 c17 benchmark (6 NAND gates), embedded verbatim.
+
+c17 is small enough to reproduce from the published netlist; it anchors the
+parser, simulator, ATPG, and pipeline tests to a historically exact circuit.
+"""
+
+from __future__ import annotations
+
+from ..netlist.circuit import Circuit
+from .parser import parse_bench
+
+C17_BENCH = """\
+# c17 — ISCAS85
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+"""
+
+
+def c17() -> Circuit:
+    """The ISCAS85 c17 circuit (5 PIs, 2 POs, 6 NAND gates)."""
+    return parse_bench(C17_BENCH, name="c17")

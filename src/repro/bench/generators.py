@@ -1,0 +1,217 @@
+"""Reusable gate-level building blocks for the ISCAS85-class generators.
+
+Everything is built through :class:`Builder`, which hands out unique net
+names and exposes one helper per primitive.  Arithmetic blocks are offered in
+two flavours:
+
+* *macro* gates (one XOR gate per XOR) — compact;
+* *NAND-mapped* (each XOR as the classic 4-NAND lattice, carry logic as
+  NAND/NAND) — matches how the historical ISCAS85 netlists are written,
+  creates the reconvergent fan-out that makes some stuck-at faults genuinely
+  hard for ATPG, and multiplies gate counts toward the benchmark sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+
+
+class Builder:
+    """Incremental netlist builder with automatic unique naming."""
+
+    def __init__(self, circuit: Circuit, prefix: str = "n") -> None:
+        self.circuit = circuit
+        self.prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str = "") -> str:
+        self._counter += 1
+        base = f"{self.prefix}{self._counter}"
+        return f"{base}_{hint}" if hint else base
+
+    def gate(self, gate_type: GateType, inputs: Sequence[str], hint: str = "") -> str:
+        name = self.fresh(hint)
+        self.circuit.add_gate(name, gate_type, tuple(inputs))
+        return name
+
+    # -- primitives ----------------------------------------------------
+    def AND(self, *ins: str, hint: str = "and") -> str:
+        return self.gate(GateType.AND, ins, hint)
+
+    def NAND(self, *ins: str, hint: str = "nand") -> str:
+        return self.gate(GateType.NAND, ins, hint)
+
+    def OR(self, *ins: str, hint: str = "or") -> str:
+        return self.gate(GateType.OR, ins, hint)
+
+    def NOR(self, *ins: str, hint: str = "nor") -> str:
+        return self.gate(GateType.NOR, ins, hint)
+
+    def XOR(self, *ins: str, hint: str = "xor") -> str:
+        return self.gate(GateType.XOR, ins, hint)
+
+    def XNOR(self, *ins: str, hint: str = "xnor") -> str:
+        return self.gate(GateType.XNOR, ins, hint)
+
+    def NOT(self, a: str, hint: str = "not") -> str:
+        return self.gate(GateType.NOT, (a,), hint)
+
+    def BUFF(self, a: str, hint: str = "buf") -> str:
+        return self.gate(GateType.BUFF, (a,), hint)
+
+    def MUX(self, d0: str, d1: str, sel: str, hint: str = "mux") -> str:
+        return self.gate(GateType.MUX, (d0, d1, sel), hint)
+
+    # -- NAND-mapped composites ----------------------------------------
+    def xor_nand(self, a: str, b: str) -> str:
+        """XOR(a, b) as the classic 4-NAND lattice (reconvergent)."""
+        nab = self.NAND(a, b, hint="xn")
+        na = self.NAND(a, nab, hint="xa")
+        nb = self.NAND(b, nab, hint="xb")
+        return self.NAND(na, nb, hint="xo")
+
+    def xnor_nand(self, a: str, b: str) -> str:
+        return self.NOT(self.xor_nand(a, b), hint="xno")
+
+    def mux2_nand(self, d0: str, d1: str, sel: str) -> str:
+        """2:1 mux from NANDs: out = NAND(NAND(d0, ~s), NAND(d1, s))."""
+        ns = self.NOT(sel, hint="msn")
+        a = self.NAND(d0, ns, hint="m0")
+        b = self.NAND(d1, sel, hint="m1")
+        return self.NAND(a, b, hint="mo")
+
+    # -- trees ----------------------------------------------------------
+    def _tree(self, gate_type: GateType, nets: Sequence[str], width: int, hint: str) -> str:
+        nets = list(nets)
+        if not nets:
+            raise ValueError("tree over no inputs")
+        while len(nets) > 1:
+            grouped: List[str] = []
+            for i in range(0, len(nets), width):
+                chunk = nets[i : i + width]
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                else:
+                    grouped.append(self.gate(gate_type, chunk, hint))
+            nets = grouped
+        return nets[0]
+
+    def and_tree(self, nets: Sequence[str], width: int = 4) -> str:
+        return self._tree(GateType.AND, nets, width, "at")
+
+    def or_tree(self, nets: Sequence[str], width: int = 4) -> str:
+        return self._tree(GateType.OR, nets, width, "ot")
+
+    def xor_tree(self, nets: Sequence[str], width: int = 2) -> str:
+        return self._tree(GateType.XOR, nets, width, "xt")
+
+    def xor_tree_nand(self, nets: Sequence[str]) -> str:
+        """Balanced parity tree built entirely from 4-NAND XORs."""
+        nets = list(nets)
+        while len(nets) > 1:
+            grouped = []
+            for i in range(0, len(nets) - 1, 2):
+                grouped.append(self.xor_nand(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                grouped.append(nets[-1])
+            nets = grouped
+        return nets[0]
+
+    # -- arithmetic ------------------------------------------------------
+    def half_adder(self, a: str, b: str) -> Tuple[str, str]:
+        """Returns (sum, carry)."""
+        return self.XOR(a, b, hint="has"), self.AND(a, b, hint="hac")
+
+    def full_adder(self, a: str, b: str, cin: str) -> Tuple[str, str]:
+        """Macro-gate full adder; returns (sum, carry)."""
+        axb = self.XOR(a, b, hint="fax")
+        s = self.XOR(axb, cin, hint="fas")
+        c1 = self.AND(a, b, hint="fac1")
+        c2 = self.AND(axb, cin, hint="fac2")
+        return s, self.OR(c1, c2, hint="faco")
+
+    def full_adder_nand(self, a: str, b: str, cin: str) -> Tuple[str, str]:
+        """NAND-mapped full adder (9 gates); returns (sum, carry)."""
+        axb = self.xor_nand(a, b)
+        s = self.xor_nand(axb, cin)
+        n1 = self.NAND(a, b, hint="fn1")
+        n2 = self.NAND(axb, cin, hint="fn2")
+        cout = self.NAND(n1, n2, hint="fnc")
+        return s, cout
+
+    def ripple_adder(
+        self, a: Sequence[str], b: Sequence[str], cin: str, nand_mapped: bool = False
+    ) -> Tuple[List[str], str]:
+        """n-bit ripple-carry adder; returns (sum bits lsb-first, carry-out)."""
+        if len(a) != len(b):
+            raise ValueError("operand widths differ")
+        adder = self.full_adder_nand if nand_mapped else self.full_adder
+        sums: List[str] = []
+        carry = cin
+        for bit_a, bit_b in zip(a, b):
+            s, carry = adder(bit_a, bit_b, carry)
+            sums.append(s)
+        return sums, carry
+
+    # -- selection / comparison -------------------------------------------
+    def mux_word(
+        self, d0: Sequence[str], d1: Sequence[str], sel: str, nand_mapped: bool = False
+    ) -> List[str]:
+        mux = self.mux2_nand if nand_mapped else (lambda a, b, s: self.MUX(a, b, s))
+        return [mux(x, y, sel) for x, y in zip(d0, d1)]
+
+    def equality(self, a: Sequence[str], b: Sequence[str], nand_mapped: bool = False) -> str:
+        """a == b (wide AND of per-bit XNOR) — a naturally rare node."""
+        xnor = self.xnor_nand if nand_mapped else (lambda x, y: self.XNOR(x, y))
+        bits = [xnor(x, y) for x, y in zip(a, b)]
+        return self.and_tree(bits)
+
+    def decoder(self, sel: Sequence[str], nand_mapped: bool = False) -> List[str]:
+        """Full decoder: 2**len(sel) one-hot outputs (minterm ANDs)."""
+        inverted = [self.NOT(s, hint="dn") for s in sel]
+        outputs: List[str] = []
+        for code in range(1 << len(sel)):
+            terms = [
+                sel[i] if (code >> i) & 1 else inverted[i] for i in range(len(sel))
+            ]
+            if nand_mapped:
+                nand = self.NAND(*terms, hint="dm")
+                outputs.append(self.NOT(nand, hint="dmo"))
+            else:
+                outputs.append(self.AND(*terms, hint="dm"))
+        return outputs
+
+    def priority_chain(self, requests: Sequence[str]) -> List[str]:
+        """One-hot highest-priority grant: grant[i] = req[i] & ~(req[0..i-1])."""
+        grants: List[str] = []
+        blocked: Optional[str] = None
+        for i, req in enumerate(requests):
+            if blocked is None:
+                grants.append(self.BUFF(req, hint="g0"))
+                blocked = req
+            else:
+                nb = self.NOT(blocked, hint="pb")
+                grants.append(self.AND(req, nb, hint="g"))
+                blocked = self.OR(blocked, req, hint="pacc")
+        return grants
+
+    def encoder_onehot(self, onehot: Sequence[str], width: int) -> List[str]:
+        """Binary index of the (assumed) one-hot input; OR trees per bit."""
+        outs: List[str] = []
+        for bit in range(width):
+            members = [net for i, net in enumerate(onehot) if (i >> bit) & 1]
+            if not members:
+                outs.append(self.gate(GateType.TIE0, (), hint="e0"))
+            elif len(members) == 1:
+                outs.append(self.BUFF(members[0], hint="eb"))
+            else:
+                outs.append(self.or_tree(members))
+        return outs
+
+
+def declare_inputs(circuit: Circuit, prefix: str, count: int) -> List[str]:
+    """Declare ``count`` primary inputs named ``prefix0..``; returns names."""
+    return [circuit.add_input(f"{prefix}{i}") for i in range(count)]

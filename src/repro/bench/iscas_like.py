@@ -1,0 +1,568 @@
+"""ISCAS85-class benchmark circuit generators.
+
+The paper evaluates on the historical ISCAS85 netlists c432, c499, c880,
+c1908 and c3540.  Those exact netlists cannot be fetched in this offline
+environment, so each generator below constructs a *functionally real* circuit
+of the same class and approximate size (see DESIGN.md §2 for the substitution
+argument):
+
+========  =====================================  ======  =======
+paper     function class                          PIs    ~gates
+========  =====================================  ======  =======
+c432      27-channel interrupt controller          32      160
+c499      32-bit single-error-correcting code      41      202
+c880      8-bit ALU                                60      383
+c1908     16-bit SEC/DED error code                33      880
+c3540     8-bit ALU with BCD/shift/compare         50     1669
+========  =====================================  ======  =======
+
+What the TrojanZero experiments need from these circuits — and what the
+generators deliberately provide, because the real benchmarks have it — is:
+
+* wide AND/NOR decode and match logic whose outputs sit at signal
+  probabilities beyond the paper's Pth values (candidate gates);
+* reconvergent fan-out (NAND-mapped XOR lattices, shared operands) that makes
+  a realistic fraction of stuck-at faults backtrack-heavy for ATPG;
+* genuine function (adders add, ECC corrects) so functional tests and
+  equivalence checks are meaningful.
+
+Every generator is deterministic: same circuit, bit for bit, every call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+from ..netlist.validate import assert_valid
+from .generators import Builder, declare_inputs
+
+# ----------------------------------------------------------------------
+# c432-like: 27-channel-style interrupt controller (32 PIs, ~160 gates)
+# ----------------------------------------------------------------------
+
+
+def c432_like() -> Circuit:
+    """Priority interrupt controller: 24 request lines in 3 banks + 8 enables.
+
+    Outputs: 5-bit encoded grant index, per-bank any-request flags omitted in
+    favour of the historical 7-output interface: enc[5], any, parity.
+    """
+    circuit = Circuit("c432_like")
+    b = Builder(circuit, prefix="g")
+    requests = declare_inputs(circuit, "R", 24)
+    enables = declare_inputs(circuit, "E", 8)
+
+    # Bank masking: requests arrive in 3 banks of 8; bank k is armed when
+    # E[k] is high and the global mask E[7] is low.
+    nmask = b.NOT(enables[7], hint="nmask")
+    armed: List[str] = []
+    for k in range(3):
+        armed.append(b.AND(enables[k], nmask, hint=f"arm{k}"))
+    masked: List[str] = []
+    for i, req in enumerate(requests):
+        masked.append(b.AND(req, armed[i // 8], hint=f"m{i}"))
+
+    # Priority: lowest index wins across the 24 masked requests.
+    grants = b.priority_chain(masked)
+
+    # Binary encode the one-hot grant vector (5 bits for 24 lines).
+    encoded = b.encoder_onehot(grants, width=5)
+
+    # Summary flags.
+    any_request = b.or_tree(masked)
+    parity = b.xor_tree(grants)
+
+    # Spurious-state detector: all enables up while no request pending —
+    # a deep, rarely-true conjunction (the c432-style expendable candidates).
+    all_enables = b.and_tree(enables[:7])
+    no_request = b.NOT(any_request, hint="noreq")
+    idle_armed = b.AND(all_enables, no_request, hint="idlearm")
+    ghost = b.AND(idle_armed, enables[7], hint="ghost")
+
+    # Trace/snapshot debug port: when the controller is armed yet fully idle
+    # (a deep conjunction, P(=1) ≈ 2⁻⁸), expose a scrambled snapshot of the
+    # encoder state.  Every gate behind the trace arm inherits the rare
+    # probability — the c432-style expendable-gate population of Fig. 5.
+    trace_arm = b.AND(idle_armed, b.NOT(enables[7], hint="ne7t"), hint="trarm")
+    snapshot = [b.XOR(e, parity, hint=f"snap{j}") for j, e in enumerate(encoded)]
+    gated = [b.AND(trace_arm, s, hint=f"tg{j}") for j, s in enumerate(snapshot)]
+    trace_mix: List[str] = []
+    for j in range(len(gated)):
+        trace_mix.append(b.OR(gated[j], gated[(j + 1) % len(gated)], hint=f"tm{j}"))
+    trace_out = b.or_tree(trace_mix)
+
+    for net in encoded:
+        circuit.set_output(net)
+    circuit.set_output(any_request)
+    circuit.set_output(parity)
+    circuit.set_output(ghost)
+    circuit.set_output(trace_out)
+    assert_valid(circuit)
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# c499-like: 32-bit SEC code (41 PIs, ~202 gates)
+# ----------------------------------------------------------------------
+
+#: Bit position -> 8-bit syndrome signature.  Signatures are distinct,
+#: non-zero, and distinct from the single-bit check signatures (1 << j).
+_C499_SIGNATURES: List[int] = []
+
+
+def _c499_signatures() -> List[int]:
+    if not _C499_SIGNATURES:
+        value = 3  # skip 0, 1, 2 (1 and 2 are check-bit columns)
+        while len(_C499_SIGNATURES) < 32:
+            if bin(value).count("1") >= 2:  # Hamming-style multi-bit columns
+                _C499_SIGNATURES.append(value)
+            value += 1
+    return _C499_SIGNATURES
+
+
+def c499_like() -> Circuit:
+    """32-bit single-error-correcting decoder.
+
+    Inputs: D0..D31 data, C0..C7 received check bits, EN correction enable.
+    Outputs: the 32 corrected data bits.  A single flipped data bit makes the
+    syndrome equal that bit's signature; the matching 8-input decode AND then
+    flips the bit back.  The decode ANDs sit at P(=1) ≈ 2⁻⁸ — the paper's
+    candidate gates for c499.
+    """
+    circuit = Circuit("c499_like")
+    b = Builder(circuit, prefix="g")
+    data = declare_inputs(circuit, "D", 32)
+    checks = declare_inputs(circuit, "C", 8)
+    enable = circuit.add_input("EN")
+    signatures = _c499_signatures()
+
+    # Syndrome: S_j = parity(data bits whose signature has bit j) XOR C_j.
+    syndrome: List[str] = []
+    for j in range(8):
+        members = [data[i] for i in range(32) if (signatures[i] >> j) & 1]
+        members.append(checks[j])
+        syndrome.append(b.xor_tree(members))
+    inv_syndrome = [b.NOT(s, hint=f"ns{j}") for j, s in enumerate(syndrome)]
+
+    # Per-position decode: 8-literal match of the signature.
+    corrected: List[str] = []
+    for i in range(32):
+        literals = [
+            syndrome[j] if (signatures[i] >> j) & 1 else inv_syndrome[j]
+            for j in range(8)
+        ]
+        match = b.AND(*literals, hint=f"e{i}")
+        fire = b.AND(match, enable, hint=f"f{i}")
+        corrected.append(b.XOR(data[i], fire, hint=f"o{i}"))
+
+    for i, net in enumerate(corrected):
+        circuit.rename_net(net, f"O{i}")
+        circuit.set_output(f"O{i}")
+    assert_valid(circuit)
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# c880-like: 8-bit ALU (60 PIs, ~383 gates)
+# ----------------------------------------------------------------------
+
+
+def c880_like() -> Circuit:
+    """8-bit ALU with dual operand banks, add/logic ops, shift, and flags.
+
+    Inputs (60): A[8] B[8] C[8] D[8] operand banks, K[8] mask, SEL[4] op
+    select, MODE[8] mode requests, EN[3] enables, T[4] test hooks, CIN.
+    Outputs (26): F[8] result, SH[8] shifted result, carry, zero, overflow,
+    parity, eq, mode-grant-valid, 4 exception flags.
+    """
+    circuit = Circuit("c880_like")
+    b = Builder(circuit, prefix="g")
+    a = declare_inputs(circuit, "A", 8)
+    bb = declare_inputs(circuit, "B", 8)
+    c = declare_inputs(circuit, "C", 8)
+    d = declare_inputs(circuit, "D", 8)
+    k = declare_inputs(circuit, "K", 8)
+    sel = declare_inputs(circuit, "SEL", 4)
+    mode = declare_inputs(circuit, "MODE", 8)
+    en = declare_inputs(circuit, "EN", 3)
+    t = declare_inputs(circuit, "T", 4)
+    cin = circuit.add_input("CIN")
+
+    # Operand selection and masking.
+    op1 = [b.MUX(a[i], c[i], sel[0], hint=f"op1_{i}") for i in range(8)]
+    op2raw = [b.MUX(bb[i], d[i], sel[1], hint=f"op2_{i}") for i in range(8)]
+    op2 = [b.AND(op2raw[i], k[i], hint=f"mk{i}") for i in range(8)]
+
+    # Arithmetic unit (NAND-mapped ripple adder) and incrementer.
+    sums, carry_out = b.ripple_adder(op1, op2, cin, nand_mapped=True)
+    one = b.gate(GateType.TIE1, (), hint="c1")
+    zero_net = b.gate(GateType.TIE0, (), hint="c0")
+    inc_b = [zero_net] * 8
+    incs, _inc_co = b.ripple_adder(op2, inc_b, one, nand_mapped=True)
+
+    # Logic unit.
+    ands = [b.AND(op1[i], op2[i], hint=f"lu_and{i}") for i in range(8)]
+    ors = [b.OR(op1[i], op2[i], hint=f"lu_or{i}") for i in range(8)]
+    xors = [b.XOR(op1[i], op2[i], hint=f"lu_xor{i}") for i in range(8)]
+
+    # Result select: one-hot minterms of SEL[2..3].
+    minterms = b.decoder(sel[2:4])
+    result: List[str] = []
+    for i in range(8):
+        picks = [
+            b.AND(sums[i], minterms[0], hint=f"p0_{i}"),
+            b.AND(ands[i], minterms[1], hint=f"p1_{i}"),
+            b.AND(ors[i], minterms[2], hint=f"p2_{i}"),
+            b.AND(xors[i], minterms[3], hint=f"p3_{i}"),
+        ]
+        result.append(b.OR(*picks, hint=f"f{i}"))
+
+    # Shift/rotate stage over the incremented operand.
+    shifted_left = [incs[7]] + incs[:7]
+    shifted = b.mux_word(incs, shifted_left, sel[2], nand_mapped=True)
+
+    # Flags.
+    zero_flag = b.NOR(*result, hint="zflag")
+    parity = b.xor_tree(result)
+    overflow = b.XOR(carry_out, sums[7], hint="ovf")
+    eq = b.equality(a, bb)
+
+    # Mode grant section (priority over MODE requests, gated by EN).
+    grants = b.priority_chain(mode)
+    grant_valid = b.or_tree(grants)
+    en_all = b.and_tree(en)
+    grant_ok = b.AND(grant_valid, en_all, hint="gok")
+
+    # Exception detectors — the paper's Fig. 5 segment-A analogue: four AND
+    # gates at P(=1) ≈ 2⁻⁹ feeding NOR gates.
+    exception_nors: List[str] = []
+    excs: List[str] = []
+    for j in range(4):
+        exc = b.AND(eq, t[j], hint=f"exc{j}")
+        excs.append(exc)
+        exception_nors.append(b.NOR(exc, grants[j], hint=f"xn{j}"))
+
+    # Trace/snapshot debug port (segment-B analogue): armed only when the
+    # operands compare equal AND every test hook is raised — a deep positive
+    # conjunction that deterministic test vectors (0-filled on unconstrained
+    # inputs) never produce, and whose private snapshot cone is therefore
+    # expendable.
+    trace_arm = b.AND(eq, t[0], t[1], t[2], t[3], hint="trarm")
+    snapshot = [b.XOR(result[i], incs[i], hint=f"snap{i}") for i in range(8)]
+    tgates = [b.AND(trace_arm, s, hint=f"tg{i}") for i, s in enumerate(snapshot)]
+    trace_pairs = [
+        b.OR(tgates[i], tgates[(i + 1) % 8], hint=f"tp{i}") for i in range(8)
+    ]
+    trace_out = b.or_tree(trace_pairs)
+
+    for net in result:
+        circuit.set_output(net)
+    for net in shifted:
+        circuit.set_output(net)
+    for net in (carry_out, zero_flag, overflow, parity, eq, grant_ok):
+        circuit.set_output(net)
+    for net in exception_nors:
+        circuit.set_output(net)
+    circuit.set_output(trace_out)
+    assert_valid(circuit)
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# c1908-like: 16-bit SEC/DED (33 PIs, ~880 gates)
+# ----------------------------------------------------------------------
+
+
+def _c1908_signatures() -> List[int]:
+    """16 weight-3 6-bit data signatures (odd-weight Hamming construction).
+
+    Check bits implicitly use the single-bit columns, so data signatures are
+    distinct from them, every syndrome bit is covered by several data
+    columns, and single check-bit errors decode to no data position.
+    """
+    signatures = [v for v in range(64) if bin(v).count("1") == 3]
+    return signatures[:16]
+
+
+def c1908_like() -> Circuit:
+    """16-bit SEC/DED decoder + re-encoder, NAND-mapped throughout.
+
+    Inputs (33): D0..D15 data, C0..C5 check, P overall parity, CTL0..CTL7,
+    RST, EN, DBG.  Outputs (25): 16 corrected bits, 6 re-encoded check bits,
+    single-error flag, double-error flag, status.
+    """
+    circuit = Circuit("c1908_like")
+    b = Builder(circuit, prefix="g")
+    data = declare_inputs(circuit, "D", 16)
+    checks = declare_inputs(circuit, "C", 6)
+    par_in = circuit.add_input("P")
+    ctl = declare_inputs(circuit, "CTL", 8)
+    rst = circuit.add_input("RST")
+    en = circuit.add_input("EN")
+    data_sigs = _c1908_signatures()
+
+    # Syndrome: NAND-mapped XOR trees (the reconvergent ISCAS texture).
+    syndrome: List[str] = []
+    for j in range(6):
+        members = [data[i] for i in range(16) if (data_sigs[i] >> j) & 1]
+        members.append(checks[j])
+        syndrome.append(b.xor_tree_nand(members))
+    inv_syndrome = [b.NOT(s, hint=f"ns{j}") for j, s in enumerate(syndrome)]
+
+    # Overall parity across data + checks + stored parity bit.
+    parity_all = b.xor_tree_nand(list(data) + list(checks) + [par_in])
+
+    # Per-position decode (NAND-mapped minterms).
+    corrected: List[str] = []
+    error_hits: List[str] = []
+    for i in range(16):
+        literals = [
+            syndrome[j] if (data_sigs[i] >> j) & 1 else inv_syndrome[j]
+            for j in range(6)
+        ]
+        nmatch = b.NAND(*literals, hint=f"nm{i}")
+        match = b.NOT(nmatch, hint=f"e{i}")
+        error_hits.append(match)
+        fire = b.AND(match, en, hint=f"fr{i}")
+        corrected.append(b.xor_nand(data[i], fire))
+
+    # Error classification: syndrome non-zero?
+    syn_nonzero = b.or_tree(syndrome)
+    single_error = b.AND(syn_nonzero, parity_all, hint="serr")
+    double_error = b.AND(syn_nonzero, b.NOT(parity_all, hint="npar"), hint="derr")
+
+    # Re-encode corrected data and compare against stored checks.
+    recoded: List[str] = []
+    for j in range(6):
+        members = [corrected[i] for i in range(16) if (data_sigs[i] >> j) & 1]
+        recoded.append(b.xor_tree_nand(members))
+    recheck_bits = [b.xnor_nand(recoded[j], checks[j]) for j in range(6)]
+    recheck_ok = b.and_tree(recheck_bits)
+
+    # Check-bit error decode: single-bit syndrome patterns (check column hit).
+    check_corrected: List[str] = []
+    for j in range(6):
+        literals = [
+            syndrome[jj] if jj == j else inv_syndrome[jj] for jj in range(6)
+        ]
+        nmatch = b.NAND(*literals, hint=f"cm{j}")
+        cmatch = b.NOT(nmatch, hint=f"ce{j}")
+        cfire = b.AND(cmatch, en, hint=f"cf{j}")
+        check_corrected.append(b.xor_nand(checks[j], cfire))
+
+    # Output crossbar: CTL6 selects raw-corrected vs re-encoded view.
+    crossbar = b.mux_word(corrected, data, ctl[6], nand_mapped=True)
+    xbar_parity = b.xor_tree_nand(crossbar)
+
+    # Control/status section: a diagnostic snoop bank that only operates in
+    # a deep debug mode (three positive control literals).  Ordinary decode
+    # tests never raise all of ctl[3..5], so the defender's deterministic
+    # vectors (0-filled on unconstrained inputs) never excite these lanes —
+    # the c1908-style expendable-gate population.
+    armed = b.AND(en, b.NOT(rst, hint="nrst"), hint="armd")
+    debug_mode = b.AND(ctl[3], ctl[4], ctl[5], armed, hint="dbgmode")
+    ctl_minterms = b.decoder(ctl[:3], nand_mapped=True)
+    status_terms: List[str] = []
+    for idx, minterm in enumerate(ctl_minterms):
+        lane_a = error_hits[idx * 2]
+        lane_b = error_hits[idx * 2 + 1]
+        lane = b.OR(lane_a, lane_b, hint=f"lane{idx}")
+        status_terms.append(b.AND(minterm, lane, debug_mode, hint=f"st{idx}"))
+    status = b.or_tree(status_terms)
+    sticky = b.AND(status, ctl[6], hint="sticky")
+
+    # Deep rare conjunction: every decode lane quiet while in debug mode.
+    no_hits = b.NOR(*error_hits[:8], hint="nh0")
+    no_hits2 = b.NOR(*error_hits[8:], hint="nh1")
+    all_quiet = b.AND(no_hits, no_hits2, recheck_ok, armed, hint="quiet")
+    ghost = b.AND(all_quiet, ctl[4], ctl[5], hint="ghost")
+
+    for net in crossbar:
+        circuit.set_output(net)
+    for net in recoded:
+        circuit.set_output(net)
+    for net in check_corrected[:2]:
+        circuit.set_output(net)
+    for net in (single_error, double_error, sticky, xbar_parity):
+        circuit.set_output(net)
+    # ghost joins the status outputs, totalling 25 + 1 diagnostics output.
+    circuit.set_output(ghost)
+    assert_valid(circuit)
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# c3540-like: 8-bit ALU with BCD / shifter / comparator (50 PIs, ~1669 gates)
+# ----------------------------------------------------------------------
+
+
+def c3540_like() -> Circuit:
+    """Wide-function 8-bit ALU, NAND-mapped, with duplicated checking datapath.
+
+    Inputs (50): A[8] B[8] operands, K[8] mask, CTL[8] opcode field, M[8]
+    interrupt/mask requests, SEL[4], EN[3], T[2], CIN.
+    Outputs: F[8] result, R[8] rotated, BCD[8] adjusted sum, flags and check
+    bits (22 total).
+    """
+    circuit = Circuit("c3540_like")
+    b = Builder(circuit, prefix="g")
+    a = declare_inputs(circuit, "A", 8)
+    bb = declare_inputs(circuit, "B", 8)
+    k = declare_inputs(circuit, "K", 8)
+    ctl = declare_inputs(circuit, "CTL", 8)
+    m = declare_inputs(circuit, "M", 8)
+    sel = declare_inputs(circuit, "SEL", 4)
+    en = declare_inputs(circuit, "EN", 3)
+    t = declare_inputs(circuit, "T", 2)
+    cin = circuit.add_input("CIN")
+
+    # ------------------------------------------------------------------
+    # Operand conditioning: masking and optional inversion (for subtract).
+    masked_b = [b.AND(bb[i], k[i], hint=f"mb{i}") for i in range(8)]
+    inv_b = [b.NOT(masked_b[i], hint=f"ib{i}") for i in range(8)]
+    sub_mode = b.AND(sel[0], en[0], hint="submode")
+    op_b = b.mux_word(masked_b, inv_b, sub_mode, nand_mapped=True)
+    carry_in = b.OR(cin, sub_mode, hint="cineff")
+
+    # Main adder plus a second arithmetic path (A + K) with a comparator —
+    # reconvergent with the main path through A, but functionally distinct.
+    sums, carry_out = b.ripple_adder(a, op_b, carry_in, nand_mapped=True)
+    sums2, carry_out2 = b.ripple_adder(a, k, cin, nand_mapped=True)
+    path_match_bits = [b.xnor_nand(sums[i], sums2[i]) for i in range(8)]
+    paths_match = b.and_tree(path_match_bits + [b.xnor_nand(carry_out, carry_out2)])
+
+    # ------------------------------------------------------------------
+    # BCD adjust: per nibble, add 6 when the nibble exceeds 9.
+    def bcd_adjust(nibble: List[str], tag: str) -> List[str]:
+        hi = nibble[3]
+        mid = b.OR(nibble[2], nibble[1], hint=f"bm{tag}")
+        gt9 = b.AND(hi, mid, hint=f"g9{tag}")
+        zero = b.gate(GateType.TIE0, (), hint=f"zz{tag}")
+        # Adding 6 = 0b0110 when the nibble exceeds 9 (gated by EN[1]).
+        plus = b.AND(gt9, en[1], hint=f"sx{tag}")
+        addend = [zero, plus, plus, zero]
+        adjusted, _ = b.ripple_adder(nibble, addend, zero, nand_mapped=True)
+        return adjusted
+
+    bcd_low = bcd_adjust(sums[:4], "lo")
+    bcd_high = bcd_adjust(sums[4:], "hi")
+    bcd = bcd_low + bcd_high
+
+    # ------------------------------------------------------------------
+    # Logic unit, fully gated per op (NAND-mapped XOR).
+    lu_and = [b.AND(a[i], op_b[i], hint=f"la{i}") for i in range(8)]
+    lu_or = [b.OR(a[i], op_b[i], hint=f"lo{i}") for i in range(8)]
+    lu_xor = [b.xor_nand(a[i], op_b[i]) for i in range(8)]
+    lu_xnor = [b.NOT(lu_xor[i], hint=f"lxn{i}") for i in range(8)]
+
+    # ------------------------------------------------------------------
+    # Barrel rotate (3 stages of NAND-mapped muxes) over the sum.
+    def rotate_left(word: List[str], amount: int) -> List[str]:
+        return word[-amount:] + word[:-amount]
+
+    stage1 = b.mux_word(sums, rotate_left(sums, 1), sel[1], nand_mapped=True)
+    stage2 = b.mux_word(stage1, rotate_left(stage1, 2), sel[2], nand_mapped=True)
+    rotated = b.mux_word(stage2, rotate_left(stage2, 4), sel[3], nand_mapped=True)
+
+    # ------------------------------------------------------------------
+    # 8x8 multiplier, low byte (partial-product array, NAND-mapped adders).
+    zero_pp = b.gate(GateType.TIE0, (), hint="mz")
+    acc = [b.AND(a[i], masked_b[0], hint=f"pp0_{i}") for i in range(8)]
+    for row in range(1, 8):
+        pp = [b.AND(a[i], masked_b[row], hint=f"pp{row}_{i}") for i in range(8)]
+        # Accumulate pp << row into the running sum (low 8 bits kept).
+        acc, _ = b.ripple_adder(acc, [zero_pp] * row + pp[: 8 - row], zero_pp,
+                                nand_mapped=True)
+    product = acc
+
+    # Saturating add: result clamps to 0xFF on carry-out.
+    sat = [b.OR(sums[i], carry_out, hint=f"sat{i}") for i in range(8)]
+
+    # ------------------------------------------------------------------
+    # Opcode decode (4 -> 16 NAND-mapped minterms) and result selection.
+    minterms = b.decoder(ctl[:4], nand_mapped=True)
+    unit_by_minterm = [
+        sums, lu_and, lu_or, lu_xor, lu_xnor, bcd, rotated, sums2,
+        product, sat,
+    ]
+    result: List[str] = []
+    for i in range(8):
+        picks: List[str] = []
+        for op_idx, word in enumerate(unit_by_minterm):
+            picks.append(b.AND(word[i], minterms[op_idx], hint=f"pk{op_idx}_{i}"))
+        result.append(b.or_tree(picks))
+
+    # ------------------------------------------------------------------
+    # Comparator: A vs masked B magnitude (ripple greater-than).
+    gt = None
+    for i in range(8):
+        nb = b.NOT(op_b[i], hint=f"cgn{i}")
+        a_gt_b = b.AND(a[i], nb, hint=f"cg{i}")
+        eq_bit = b.xnor_nand(a[i], op_b[i])
+        if gt is None:
+            gt = a_gt_b
+        else:
+            keep = b.AND(eq_bit, gt, hint=f"ck{i}")
+            gt = b.OR(a_gt_b, keep, hint=f"cgt{i}")
+    eq_ab = b.equality(a, bb, nand_mapped=True)
+
+    # ------------------------------------------------------------------
+    # Interrupt/mask section over M (priority chain + encode + rare detect).
+    grants = b.priority_chain(m)
+    enc = b.encoder_onehot(grants, width=3)
+    any_m = b.or_tree(m)
+
+    # Flags.
+    zero_flag = b.NOR(*result, hint="zf")
+    parity = b.xor_tree_nand(result)
+    sign = b.BUFF(result[7], hint="sgn")
+    overflow = b.xor_nand(carry_out, sums[7])
+
+    # Rare exception lattice (segment-B analogue: OR gates at P(=1) ≈ 1).
+    exc_ors: List[str] = []
+    for j in range(4):
+        neq = b.NOT(eq_ab, hint=f"xne{j}")
+        exc_ors.append(b.OR(neq, minterms[8 + j], t[j % 2], hint=f"xo{j}"))
+    exc_all = b.and_tree(exc_ors)
+    trap = b.AND(eq_ab, gt, hint="trap")  # contradiction: equal AND greater — P≈0
+    alarm = b.NOR(exc_all, trap, hint="alarm")
+
+    # Self-check rollup: both arithmetic paths agreeing is a rare event
+    # (requires op_b == K), gated by an enable — a deep Fig.5-style candidate.
+    selfcheck = b.AND(paths_match, en[2], hint="selfck")
+
+    for net in result:
+        circuit.set_output(net)
+    for net in rotated:
+        circuit.set_output(net)
+    for net in (carry_out, zero_flag, parity, sign, overflow, eq_ab, gt):
+        circuit.set_output(net)
+    for net in enc:
+        circuit.set_output(net)
+    for net in (any_m, alarm, selfcheck):
+        circuit.set_output(net)
+    assert_valid(circuit)
+    return circuit
+
+
+#: Registry used by the evaluation harness — paper benchmark name -> builder.
+BENCHMARKS = {
+    "c432": c432_like,
+    "c499": c499_like,
+    "c880": c880_like,
+    "c1908": c1908_like,
+    "c3540": c3540_like,
+}
+
+
+def build_benchmark(name: str) -> Circuit:
+    """Construct the generator circuit standing in for paper benchmark ``name``."""
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        ) from None
+    return builder()

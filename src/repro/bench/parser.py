@@ -1,0 +1,134 @@
+"""ISCAS85 ``.bench`` netlist reader/writer.
+
+The classic format (from the ISCAS85/89 benchmark distributions)::
+
+    # c17
+    INPUT(1)
+    INPUT(2)
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    22 = NAND(10, 16)
+
+The parser is tolerant: case-insensitive keywords, flexible whitespace,
+``BUF``/``BUFF`` synonyms, and ``DFF(d, clk)`` as an extension (the stock
+ISCAS89 one-argument DFF is accepted too and given an explicit global
+``CLK`` input).  Real ISCAS85 files drop straight in; the same writer is used
+to export Trojan-infected netlists for external tools.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gate import GateType
+
+_TYPE_ALIASES: Dict[str, GateType] = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUFF,
+    "BUFF": GateType.BUFF,
+    "MUX": GateType.MUX,
+    "TIE0": GateType.TIE0,
+    "TIE1": GateType.TIE1,
+    "DFF": GateType.DFF,
+}
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z0-9]+)\s*\(\s*([^)]*)\s*\)$")
+
+
+class BenchParseError(NetlistError):
+    """Raised with file/line context on malformed ``.bench`` input."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`."""
+    circuit = Circuit(name)
+    outputs: List[str] = []
+    pending: List[Tuple[int, str, GateType, Tuple[str, ...]]] = []
+    needs_clk = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, net = io_match.group(1).upper(), io_match.group(2).strip()
+            if keyword == "INPUT":
+                if circuit.has_net(net):
+                    raise BenchParseError(f"line {lineno}: duplicate INPUT({net})")
+                circuit.add_input(net)
+            else:
+                outputs.append(net)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            out = gate_match.group(1).strip()
+            type_name = gate_match.group(2).upper()
+            gate_type = _TYPE_ALIASES.get(type_name)
+            if gate_type is None:
+                raise BenchParseError(f"line {lineno}: unknown gate type {type_name!r}")
+            args = tuple(
+                a.strip() for a in gate_match.group(3).split(",") if a.strip()
+            )
+            if gate_type is GateType.DFF and len(args) == 1:
+                # ISCAS89 style: single-argument DFF with an implicit clock.
+                args = (args[0], "CLK")
+                needs_clk = True
+            pending.append((lineno, out, gate_type, args))
+            continue
+        raise BenchParseError(f"line {lineno}: cannot parse {line!r}")
+
+    if needs_clk and not circuit.has_net("CLK"):
+        circuit.add_input("CLK")
+    for lineno, out, gate_type, args in pending:
+        try:
+            circuit.add_gate(out, gate_type, args)
+        except (NetlistError, ValueError) as exc:
+            raise BenchParseError(f"line {lineno}: {exc}") from exc
+    for net in outputs:
+        if not circuit.has_net(net):
+            raise BenchParseError(f"OUTPUT({net}) is never driven")
+        circuit.set_output(net)
+    # Force fanout construction so undriven-net errors surface here.
+    try:
+        circuit.topological_order()
+    except NetlistError as exc:
+        raise BenchParseError(str(exc)) from exc
+    return circuit
+
+
+def load_bench(path: Union[str, Path]) -> Circuit:
+    """Load a ``.bench`` file; the circuit name is the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` source text."""
+    lines: List[str] = [f"# {circuit.name} — written by repro.bench"]
+    for pi in circuit.inputs:
+        lines.append(f"INPUT({pi})")
+    for po in circuit.outputs:
+        lines.append(f"OUTPUT({po})")
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        if gate.is_input:
+            continue
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.name} = {gate.gate_type.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: Union[str, Path]) -> None:
+    Path(path).write_text(write_bench(circuit))

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``attack``     run the full TrojanZero flow on a benchmark (or .bench file)
+``table1``     regenerate the paper's Table I across all five benchmarks
+``atpg``       run the defender's ATPG on a circuit and report coverage
+``prob``       report rare nodes at a probability threshold
+``power``      report power/area of a circuit under the 65nm-class model
+``detect``     run the evasion experiment on a benchmark
+``equiv``      SAT equivalence check between two .bench files
+
+Every command accepts either a built-in benchmark name (c432, c499, c880,
+c1355, c1908, c3540, c6288) or a path to an ISCAS ``.bench`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .bench import BENCHMARKS, c17, c1355_like, c6288_like, load_bench, save_bench
+from .core import TableRow, TrojanZeroPipeline, format_table
+from .power import analyze, optimize_netlist, tech65_library
+
+_EXTRA_BENCHMARKS = {"c17": c17, "c1355": c1355_like, "c6288": c6288_like}
+
+#: Paper Table I parameters for the ``table1`` command.
+_PAPER_PARAMETERS = {
+    "c432": (0.975, 2),
+    "c499": (0.993, 3),
+    "c880": (0.992, 3),
+    "c1908": (0.9986, 5),
+    "c3540": (0.992, 5),
+}
+
+
+def _resolve_circuit(spec: str):
+    if spec in BENCHMARKS:
+        return BENCHMARKS[spec]()
+    if spec in _EXTRA_BENCHMARKS:
+        return _EXTRA_BENCHMARKS[spec]()
+    path = Path(spec)
+    if path.exists():
+        return load_bench(path)
+    raise SystemExit(
+        f"unknown circuit {spec!r}: not a built-in benchmark "
+        f"({', '.join(sorted(BENCHMARKS) + sorted(_EXTRA_BENCHMARKS))}) "
+        "and no such file"
+    )
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    pipeline = TrojanZeroPipeline.default()
+    result = pipeline.run(
+        circuit,
+        p_threshold=args.pth,
+        counter_bits=args.counter_bits,
+    )
+    print(result.summary())
+    if result.success and args.output:
+        save_bench(result.insertion.infected, args.output)
+        print(f"TZ-infected netlist written to {args.output}")
+    return 0 if result.success else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    pipeline = TrojanZeroPipeline.default()
+    rows = []
+    for name, (pth, bits) in _PAPER_PARAMETERS.items():
+        result = pipeline.run(BENCHMARKS[name](), p_threshold=pth, counter_bits=bits)
+        rows.append(TableRow.from_result(result))
+        print(f"  {name}: {'ok' if result.success else 'FAILED'}", file=sys.stderr)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from .atpg import AtpgConfig, generate_test_set
+
+    circuit = optimize_netlist(_resolve_circuit(args.circuit))
+    config = AtpgConfig(
+        backtrack_limit=args.backtrack_limit,
+        target_coverage=args.target_coverage,
+        max_patterns=args.max_patterns,
+    )
+    ts = generate_test_set(circuit, config)
+    print(f"circuit:   {circuit.name} ({circuit.num_logic_gates} gates)")
+    print(f"patterns:  {ts.n_patterns}")
+    print(f"coverage:  {100 * ts.coverage:.2f}% of {ts.total_faults} collapsed faults")
+    print(
+        f"holes:     {len(ts.aborted)} aborted, {len(ts.untestable)} untestable, "
+        f"{len(ts.not_attempted)} beyond budget"
+    )
+    return 0
+
+
+def _cmd_prob(args: argparse.Namespace) -> int:
+    from .prob import rare_nodes
+
+    circuit = _resolve_circuit(args.circuit)
+    rare = rare_nodes(circuit, args.pth)
+    print(f"{len(rare)} candidate nodes at Pth = {args.pth}:")
+    for net, p_one in rare[: args.limit]:
+        polarity = f"P1={p_one:.5f}" if p_one > 0.5 else f"P0={1 - p_one:.5f}"
+        print(f"  {circuit.gate(net).gate_type.value:<5} {net:<20} {polarity}")
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.circuit)
+    if args.synthesize:
+        circuit = optimize_netlist(circuit)
+    report = analyze(circuit, tech65_library())
+    print(f"circuit:  {circuit.name} ({circuit.num_logic_gates} gates)")
+    print(f"total:    {report.total_uw:.2f} uW")
+    print(f"dynamic:  {report.dynamic_uw:.2f} uW")
+    print(f"leakage:  {report.leakage_uw:.3f} uW")
+    print(f"area:     {report.area_ge:.1f} GE ({report.area_um2:.1f} um2)")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from .detect import evasion_experiment
+
+    circuit = _resolve_circuit(args.circuit)
+    pipeline = TrojanZeroPipeline.default()
+    result = pipeline.run(circuit, p_threshold=args.pth, counter_bits=args.counter_bits)
+    if not result.success:
+        print("TrojanZero insertion failed; nothing to detect")
+        return 1
+    report = evasion_experiment(
+        result.thresholds.circuit,
+        result.insertion.infected,
+        tech65_library(),
+        additive_gates=args.additive_gates,
+        n_chips=args.chips,
+        mode=args.mode,
+    )
+    print(f"golden flagged:     {report.golden_rates}")
+    print(f"additive flagged:   {report.additive_rates}")
+    print(f"TrojanZero flagged: {report.trojanzero_rates}")
+    verdict = "EVADES" if report.trojanzero_evades() else "is CAUGHT by"
+    print(f"TrojanZero {verdict} the {args.mode}-mode detectors")
+    return 0
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    from .verify import check_equivalence
+
+    golden = _resolve_circuit(args.golden)
+    candidate = _resolve_circuit(args.candidate)
+    result = check_equivalence(golden, candidate, random_vectors=args.random_vectors)
+    print(f"status: {result.status.value}")
+    if result.counterexample:
+        print(f"differing output: {result.differing_output}")
+        print(f"witness: {result.counterexample}")
+    return 0 if bool(result) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TrojanZero (DATE 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("attack", help="run the full TrojanZero flow")
+    p.add_argument("circuit")
+    p.add_argument("--pth", type=float, default=0.992)
+    p.add_argument("--counter-bits", type=int, default=None)
+    p.add_argument("--output", help="write the TZ-infected .bench here")
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table I")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("atpg", help="run defender ATPG, report coverage")
+    p.add_argument("circuit")
+    p.add_argument("--backtrack-limit", type=int, default=20)
+    p.add_argument("--target-coverage", type=float, default=0.97)
+    p.add_argument("--max-patterns", type=int, default=64)
+    p.set_defaults(func=_cmd_atpg)
+
+    p = sub.add_parser("prob", help="list rare nodes at a threshold")
+    p.add_argument("circuit")
+    p.add_argument("--pth", type=float, default=0.992)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=_cmd_prob)
+
+    p = sub.add_parser("power", help="power/area report")
+    p.add_argument("circuit")
+    p.add_argument("--synthesize", action="store_true")
+    p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser("detect", help="run the evasion experiment")
+    p.add_argument("circuit")
+    p.add_argument("--pth", type=float, default=0.992)
+    p.add_argument("--counter-bits", type=int, default=3)
+    p.add_argument("--additive-gates", type=int, default=16)
+    p.add_argument("--chips", type=int, default=30)
+    p.add_argument("--mode", choices=("paper", "structural"), default="paper")
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("equiv", help="SAT equivalence check of two circuits")
+    p.add_argument("golden")
+    p.add_argument("candidate")
+    p.add_argument("--random-vectors", type=int, default=512)
+    p.set_defaults(func=_cmd_equiv)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

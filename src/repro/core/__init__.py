@@ -1,0 +1,34 @@
+"""The paper's contribution: thresholds, Algorithm 1, Algorithm 2, pipeline."""
+
+from .insertion import (
+    InsertionConfig,
+    InsertionResult,
+    PlacementAttempt,
+    insert_trojan_zero,
+    rank_trigger_sources,
+    rank_victims,
+)
+from .pipeline import TrojanZeroPipeline, TrojanZeroResult
+from .report import TableRow, format_row, format_table
+from .salvage import RemovalRecord, SalvageResult, salvage
+from .thresholds import DefenderModel, ThresholdReport, compute_thresholds
+
+__all__ = [
+    "DefenderModel",
+    "ThresholdReport",
+    "compute_thresholds",
+    "SalvageResult",
+    "RemovalRecord",
+    "salvage",
+    "InsertionConfig",
+    "InsertionResult",
+    "PlacementAttempt",
+    "insert_trojan_zero",
+    "rank_victims",
+    "rank_trigger_sources",
+    "TrojanZeroPipeline",
+    "TrojanZeroResult",
+    "TableRow",
+    "format_row",
+    "format_table",
+]

@@ -1,0 +1,170 @@
+"""End-to-end TrojanZero flow (Fig. 2): thresholds → salvage → insertion.
+
+:class:`TrojanZeroPipeline` glues the three phases together and produces a
+:class:`TrojanZeroResult` carrying everything Table I / Fig. 7 report: the
+HT-free, modified, and TZ-infected circuits with their power/area
+characterizations, candidate/expendable counts, the inserted design, and the
+trigger probability Pft.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..power.analysis import PowerDelta, PowerReport
+from ..power.library import CellLibrary
+from ..power.tech65 import tech65_library
+from ..trojan.counter import CounterTrojanInstance
+from ..trojan.library import TrojanDesign, default_trojan_library
+from ..trojan.trigger import TriggerReport, trigger_report
+from .insertion import InsertionConfig, InsertionResult, insert_trojan_zero
+from .salvage import SalvageResult, salvage
+from .thresholds import DefenderModel, ThresholdReport, compute_thresholds
+
+
+@dataclass
+class TrojanZeroResult:
+    """Everything one benchmark run produces."""
+
+    benchmark: str
+    p_threshold: float
+    thresholds: ThresholdReport
+    salvage: SalvageResult
+    insertion: InsertionResult
+    trigger: Optional[TriggerReport]
+
+    # ------------------------------------------------------------------
+    @property
+    def success(self) -> bool:
+        return self.insertion.success
+
+    @property
+    def power_free(self) -> PowerReport:
+        """P/A of the HT-free circuit N."""
+        return self.thresholds.power
+
+    @property
+    def power_modified(self) -> PowerReport:
+        """P/A of the modified circuit N'."""
+        return self.salvage.power_after
+
+    @property
+    def power_infected(self) -> Optional[PowerReport]:
+        """P/A of the TZ-infected circuit N''."""
+        return self.insertion.power_infected
+
+    @property
+    def delta_tz(self) -> Optional[PowerDelta]:
+        """ΔP(TZ)/ΔA(TZ) = N − N'' (the paper's zero-footprint metric)."""
+        return self.insertion.delta_tz
+
+    @property
+    def pft(self) -> Optional[float]:
+        return self.trigger.pft_analytic if self.trigger else None
+
+    def summary(self) -> str:
+        """Human-readable run summary (Table-I-row style)."""
+        n = self.power_free
+        np_ = self.power_modified
+        lines = [
+            f"TrojanZero on {self.benchmark} (Pth = {self.p_threshold}):",
+            f"  candidates |C| = {self.salvage.candidate_count}, "
+            f"expendable Eg = {self.salvage.expendable_gates}",
+            f"  N : total {n.total_uw:8.2f} uW  area {n.area_ge:8.1f} GE",
+            f"  N': total {np_.total_uw:8.2f} uW  area {np_.area_ge:8.1f} GE",
+        ]
+        if self.success:
+            nn = self.power_infected
+            d = self.delta_tz
+            lines.append(
+                f"  N'': total {nn.total_uw:8.2f} uW  area {nn.area_ge:8.1f} GE"
+                f"  (HT: {self.insertion.design.name} on {self.insertion.victim})"
+            )
+            lines.append(
+                f"  dTZ: total {d.total_uw:+.3f} uW  dynamic {d.dynamic_uw:+.3f} uW  "
+                f"leakage {d.leakage_uw:+.4f} uW  area {d.area_ge:+.2f} GE"
+            )
+            if self.pft is not None:
+                lines.append(f"  Pft = {self.pft:.3e}")
+        else:
+            lines.append("  insertion FAILED — see attempts log")
+        return "\n".join(lines)
+
+
+@dataclass
+class TrojanZeroPipeline:
+    """Configured end-to-end flow."""
+
+    library: CellLibrary
+    defender: DefenderModel = field(default_factory=DefenderModel)
+    insertion_config: InsertionConfig = field(default_factory=InsertionConfig)
+
+    @classmethod
+    def default(cls) -> "TrojanZeroPipeline":
+        """Pipeline with the shared 65nm-class library and default defender."""
+        return cls(library=tech65_library())
+
+    def run(
+        self,
+        circuit: Circuit,
+        p_threshold: float,
+        designs: Optional[Sequence[TrojanDesign]] = None,
+        counter_bits: Optional[int] = None,
+        max_candidates: Optional[int] = None,
+        monte_carlo_sessions: int = 0,
+    ) -> TrojanZeroResult:
+        """Run the full TrojanZero flow on one HT-free circuit.
+
+        Parameters
+        ----------
+        p_threshold:
+            Algorithm 1's Pth (paper Table I gives per-benchmark values).
+        counter_bits:
+            Restrict the HT library to the n-bit counter design (Table I
+            fixes the counter size per benchmark); default tries the whole
+            library, largest first.
+        """
+        thresholds = compute_thresholds(circuit, self.library, self.defender)
+        salvage_result = salvage(
+            thresholds.circuit,
+            thresholds.pattern_sets,
+            self.library,
+            p_threshold,
+            power_before=thresholds.power,
+            max_candidates=max_candidates,
+        )
+        if designs is None:
+            if counter_bits is not None:
+                designs = [TrojanDesign(f"counter{counter_bits}", "counter", counter_bits)]
+            else:
+                designs = default_trojan_library()
+        insertion = insert_trojan_zero(
+            salvage_result,
+            thresholds.circuit,
+            thresholds.pattern_sets,
+            thresholds.power,
+            self.library,
+            designs=designs,
+            config=self.insertion_config,
+            session_vectors=thresholds.n_test_vectors,
+        )
+        trig: Optional[TriggerReport] = None
+        if insertion.success and isinstance(insertion.instance, CounterTrojanInstance):
+            trig = trigger_report(
+                insertion.infected,
+                insertion.instance,
+                n_test_vectors=thresholds.n_test_vectors,
+                monte_carlo_sessions=monte_carlo_sessions,
+            )
+        return TrojanZeroResult(
+            benchmark=circuit.name,
+            p_threshold=p_threshold,
+            thresholds=thresholds,
+            salvage=salvage_result,
+            insertion=insertion,
+            trigger=trig,
+        )

@@ -1,0 +1,84 @@
+"""Table-I-style reporting for TrojanZero runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .pipeline import TrojanZeroResult
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of the paper's Table I."""
+
+    circuit: str
+    gates: int
+    inputs: int
+    p_threshold: float
+    candidates: int
+    expendable: int
+    ht_design: str
+    power_free_uw: float
+    power_modified_uw: float
+    power_infected_uw: Optional[float]
+    area_free_ge: float
+    area_modified_ge: float
+    area_infected_ge: Optional[float]
+    pft: Optional[float]
+
+    @classmethod
+    def from_result(cls, result: TrojanZeroResult) -> "TableRow":
+        circuit = result.thresholds.circuit
+        infected_power = result.power_infected
+        return cls(
+            circuit=result.benchmark,
+            gates=result.salvage.original.num_logic_gates,
+            inputs=len(circuit.inputs),
+            p_threshold=result.p_threshold,
+            candidates=result.salvage.candidate_count,
+            expendable=result.salvage.expendable_gates,
+            ht_design=result.insertion.design.name if result.success else "-",
+            power_free_uw=result.power_free.total_uw,
+            power_modified_uw=result.power_modified.total_uw,
+            power_infected_uw=infected_power.total_uw if infected_power else None,
+            area_free_ge=result.power_free.area_ge,
+            area_modified_ge=result.power_modified.area_ge,
+            area_infected_ge=infected_power.area_ge if infected_power else None,
+            pft=result.pft,
+        )
+
+
+_HEADER = (
+    "Circuit  Gates  I/P   Pth     C   Eg  HT        "
+    "P(N)     P(N')    P(N'')   A(N)    A(N')   A(N'')  Pft"
+)
+
+
+def format_row(row: TableRow) -> str:
+    """Render one row in the layout of the paper's Table I."""
+    def power(v: Optional[float]) -> str:
+        return f"{v:8.1f}" if v is not None else "       -"
+
+    def area(v: Optional[float]) -> str:
+        return f"{v:7.1f}" if v is not None else "      -"
+
+    pft = f"{row.pft:.1e}" if row.pft is not None else "-"
+    return (
+        f"{row.circuit:<8} {row.gates:>5} {row.inputs:>4} {row.p_threshold:7.4f} "
+        f"{row.candidates:>3} {row.expendable:>4}  {row.ht_design:<9}"
+        f"{power(row.power_free_uw)} {power(row.power_modified_uw)} "
+        f"{power(row.power_infected_uw)}{area(row.area_free_ge)} "
+        f"{area(row.area_modified_ge)} {area(row.area_infected_ge)}  {pft}"
+    )
+
+
+def format_table(rows: Sequence[TableRow]) -> str:
+    """Render the full Table-I-style report."""
+    lines: List[str] = [
+        "TrojanZero Analysis for ISCAS85-class Benchmarks (Table I reproduction)",
+        _HEADER,
+        "-" * len(_HEADER),
+    ]
+    lines.extend(format_row(row) for row in rows)
+    return "\n".join(lines)

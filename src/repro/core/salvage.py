@@ -1,0 +1,159 @@
+"""Algorithm 1: Salvaging Power and Area.
+
+Given the verified HT-free circuit ``N`` and the defender's test patterns,
+find the candidate set ``C`` of nodes with near-constant signal probability
+(``P ≥ Pth`` for either polarity), try tying each candidate to its dominant
+constant, dead-strip the fan-in logic this strands, and keep each edit only
+if *every* defender pattern set still passes.  The freed power and area are
+the salvaged budget for HT insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+from ..netlist.transform import strip_dead_logic, tie_net_to_constant
+from ..power.analysis import PowerDelta, PowerReport, analyze
+from ..power.library import CellLibrary
+from ..prob.propagate import rare_nodes, signal_probabilities
+from ..sim.equivalence import functional_test
+
+
+@dataclass(frozen=True)
+class RemovalRecord:
+    """Outcome of trying one candidate gate."""
+
+    net: str
+    p_one: float
+    tied_value: int
+    accepted: bool
+    #: Gates dead-stripped as a consequence (empty when rejected).
+    stripped_gates: Tuple[str, ...] = ()
+    reason: str = ""
+
+
+@dataclass
+class SalvageResult:
+    """Output of Algorithm 1."""
+
+    original: Circuit
+    modified: Circuit
+    p_threshold: float
+    candidates: List[Tuple[str, float]]
+    removals: List[RemovalRecord]
+    power_before: PowerReport
+    power_after: PowerReport
+
+    @property
+    def candidate_count(self) -> int:
+        """|C| — paper Table I column C."""
+        return len(self.candidates)
+
+    @property
+    def expendable_gates(self) -> int:
+        """Eg — logic gates actually salvaged (removed or constant-tied)."""
+        before = self.original.num_logic_gates
+        after = sum(
+            1 for g in self.modified.logic_gates() if not g.is_constant
+        )
+        ties_preexisting = sum(1 for g in self.original.logic_gates() if g.is_constant)
+        return before - ties_preexisting - after
+
+    @property
+    def delta(self) -> PowerDelta:
+        """ΔP / ΔA — the salvaged budget."""
+        return self.power_before.delta(self.power_after)
+
+    def accepted_removals(self) -> List[RemovalRecord]:
+        return [r for r in self.removals if r.accepted]
+
+
+def salvage(
+    circuit: Circuit,
+    pattern_sets: Sequence[np.ndarray],
+    library: CellLibrary,
+    p_threshold: float,
+    power_before: Optional[PowerReport] = None,
+    max_candidates: Optional[int] = None,
+) -> SalvageResult:
+    """Run Algorithm 1.
+
+    Parameters
+    ----------
+    circuit:
+        The verified HT-free circuit ``N`` (not mutated).
+    pattern_sets:
+        The defender's q testing algorithms' pattern arrays; an edit is kept
+        only if all of them pass (Algorithm 1 lines 17-22).
+    p_threshold:
+        The attacker-specified ``Pth``; candidates have ``P(=1) ≥ Pth`` or
+        ``P(=0) ≥ Pth``.
+    max_candidates:
+        Optional cap on how many candidates are attempted (largest extremity
+        first), for bounded-effort runs.
+    """
+    golden = circuit.copy()
+    work = circuit.copy(f"{circuit.name}_mod")
+    if power_before is None:
+        power_before = analyze(circuit, library)
+
+    candidates = rare_nodes(work, p_threshold)
+    if max_candidates is not None:
+        candidates = candidates[:max_candidates]
+
+    removals: List[RemovalRecord] = []
+    for net, p_one in candidates:
+        if not work.has_net(net):
+            removals.append(
+                RemovalRecord(net, p_one, -1, False, reason="already stripped")
+            )
+            continue
+        gate = work.gate(net)
+        if gate.is_constant or gate.is_input:
+            removals.append(
+                RemovalRecord(net, p_one, -1, False, reason="not a logic gate")
+            )
+            continue
+        tied_value = 1 if p_one >= 0.5 else 0
+
+        trial = work.copy()
+        tie_net_to_constant(trial, net, tied_value)
+        stripped = strip_dead_logic(trial)
+        if functional_test(trial, golden, pattern_sets):
+            work = trial
+            removals.append(
+                RemovalRecord(
+                    net,
+                    p_one,
+                    tied_value,
+                    True,
+                    stripped_gates=tuple(stripped),
+                    reason="passed all defender tests",
+                )
+            )
+        else:
+            removals.append(
+                RemovalRecord(
+                    net,
+                    p_one,
+                    tied_value,
+                    False,
+                    reason="defender test pattern detected the edit",
+                )
+            )
+
+    power_after = analyze(work, library)
+    return SalvageResult(
+        original=circuit,
+        modified=work,
+        p_threshold=p_threshold,
+        candidates=candidates,
+        removals=removals,
+        power_before=power_before,
+        power_after=power_after,
+    )

@@ -1,0 +1,41 @@
+"""Power-based HT detection baselines [10][11][12] and evaluation harness."""
+
+from .chen import ChenDetector
+from .evaluate import (
+    DetectorBench,
+    EvasionReport,
+    OverheadPoint,
+    calibrate_detectors,
+    evasion_experiment,
+    minimum_detectable_overhead,
+    population_for,
+    sweep_additive_overheads,
+)
+from .potkonjak import GlcDetector
+from .rad import RadDetector
+from .variation import (
+    ChipMeasurements,
+    PopulationSampler,
+    VariationModel,
+    region_of,
+    state_leakage_factor,
+)
+
+__all__ = [
+    "VariationModel",
+    "ChipMeasurements",
+    "PopulationSampler",
+    "region_of",
+    "state_leakage_factor",
+    "RadDetector",
+    "GlcDetector",
+    "ChenDetector",
+    "DetectorBench",
+    "calibrate_detectors",
+    "population_for",
+    "OverheadPoint",
+    "sweep_additive_overheads",
+    "minimum_detectable_overhead",
+    "EvasionReport",
+    "evasion_experiment",
+]

@@ -1,0 +1,71 @@
+"""Statistical-learning leakage classifier, after Chen et al. [12].
+
+A one-class model over leakage feature vectors: the defender trains on
+golden chips only (statistics of the leakage measured under each
+characterization vector), and flags outliers.  This captures the essence of
+the statistical-learning approach the paper cites: it detects the *increase
+in leakage power* an additive HT causes.
+
+Modes:
+
+* ``"paper"`` (default) — the abstraction the TrojanZero paper evaluates
+  against: one-sided mean leakage-increase z-score across the feature
+  vector.  Additive gates leak everywhere; removals push the score negative
+  and TrojanZero's balanced edit keeps it near zero.
+* ``"structural"`` — two-sided RMS z-score, which also reacts to leakage
+  *redistribution*; used by the ablation study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .variation import ChipMeasurements
+
+
+def _features(chip: ChipMeasurements) -> np.ndarray:
+    return np.concatenate(
+        (chip.leakage_by_vector_uw, [chip.total_leakage_uw])
+    )
+
+
+@dataclass
+class ChenDetector:
+    """One-class Gaussian leakage classifier."""
+
+    mode: str = "paper"
+    calibration_quantile: float = 0.995
+    _mean: Optional[np.ndarray] = None
+    _std: Optional[np.ndarray] = None
+    _threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("paper", "structural"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    def calibrate(self, golden: Sequence[ChipMeasurements]) -> None:
+        if len(golden) < 8:
+            raise ValueError("need at least 8 golden chips to calibrate")
+        data = np.stack([_features(c) for c in golden])
+        self._mean = data.mean(axis=0)
+        self._std = np.maximum(data.std(axis=0, ddof=1), 1e-12)
+        stats = [self.statistic(c) for c in golden]
+        self._threshold = float(np.quantile(stats, self.calibration_quantile))
+
+    def statistic(self, chip: ChipMeasurements) -> float:
+        if self._mean is None:
+            raise RuntimeError("calibrate() first")
+        z = (_features(chip) - self._mean) / self._std
+        if self.mode == "paper":
+            # Signed mean: broad leakage increase — the additive signature.
+            return float(np.mean(z))
+        return float(np.sqrt(np.mean(z * z)))
+
+    def flags(self, chip: ChipMeasurements) -> bool:
+        return self.statistic(chip) > self._threshold
+
+    def detection_rate(self, chips: Sequence[ChipMeasurements]) -> float:
+        return float(np.mean([self.flags(c) for c in chips]))

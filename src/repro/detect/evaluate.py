@@ -1,0 +1,212 @@
+"""Detection experiments: Fig. 3 thresholds and the TrojanZero evasion claim.
+
+Two experiment families:
+
+* :func:`minimum_detectable_overhead` — sweep *additive* HT sizes on a
+  circuit, fabricate chip populations, and find the smallest power/area
+  overhead each detector reliably flags.  This regenerates Fig. 3 (the
+  overheads the state-of-the-art methods rely on).
+* :func:`evasion_experiment` — fabricate populations of the HT-free,
+  additive-HT, and TZ-infected circuits and report each detector's detection
+  rate.  TrojanZero's claim is that the additive HT is flagged while the
+  TZ-infected population is indistinguishable from golden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..power.analysis import PowerReport, analyze
+from ..power.library import CellLibrary
+from ..trojan.combinational import insert_additive_burden
+from .chen import ChenDetector
+from .potkonjak import GlcDetector
+from .rad import RadDetector
+from .variation import ChipMeasurements, PopulationSampler, VariationModel
+
+
+@dataclass
+class DetectorBench:
+    """All three baseline detectors calibrated on one golden population."""
+
+    rad: RadDetector
+    glc: GlcDetector
+    chen: ChenDetector
+    golden_report: PowerReport
+    sampler: PopulationSampler
+
+    def rates(self, chips: Sequence[ChipMeasurements]) -> Dict[str, float]:
+        return {
+            "rad": self.rad.detection_rate(chips),
+            "glc": self.glc.detection_rate(chips),
+            "chen": self.chen.detection_rate(chips),
+        }
+
+
+def calibrate_detectors(
+    circuit: Circuit,
+    library: CellLibrary,
+    model: Optional[VariationModel] = None,
+    n_golden: int = 40,
+    seed: int = 11,
+    mode: str = "paper",
+) -> DetectorBench:
+    """Fabricate golden chips and calibrate all three detectors on them.
+
+    ``mode`` selects the detector abstraction: ``"paper"`` for the
+    total-increase tests the TrojanZero paper evaluates against (Fig. 3), or
+    ``"structural"`` for the stronger redistribution-sensitive variants used
+    in the ablation study.
+    """
+    model = model or VariationModel()
+    rng = np.random.default_rng(seed)
+    report = analyze(circuit, library)
+    sampler = PopulationSampler(circuit, report, model, rng=rng)
+    golden = sampler.sample_population(n_golden, rng)
+
+    rad = RadDetector(mode=mode)
+    rad.calibrate(golden)
+    glc = GlcDetector(mode=mode, n_region_groups=model.n_regions)
+    glc.build_model(circuit, sampler)
+    glc.calibrate(golden)
+    chen = ChenDetector(mode=mode)
+    chen.calibrate(golden)
+    return DetectorBench(rad=rad, glc=glc, chen=chen, golden_report=report, sampler=sampler)
+
+
+def population_for(
+    circuit: Circuit,
+    library: CellLibrary,
+    bench: DetectorBench,
+    n_chips: int = 40,
+    seed: int = 23,
+) -> Tuple[List[ChipMeasurements], PowerReport]:
+    """Fabricate a test population of ``circuit`` measured like the golden one.
+
+    The same characterization vectors are applied (the defender's procedure
+    is fixed), but the dies realize whatever netlist the foundry produced.
+    """
+    model = bench.sampler.model
+    rng = np.random.default_rng(seed)
+    report = analyze(circuit, library)
+    sampler = PopulationSampler(
+        circuit,
+        report,
+        model,
+        characterization_vectors=bench.sampler.characterization_vectors,
+        rng=rng,
+    )
+    return sampler.sample_population(n_chips, rng), report
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """One point of the Fig. 3 sweep."""
+
+    n_extra_gates: int
+    dynamic_overhead_pct: float
+    leakage_overhead_pct: float
+    area_overhead_pct: float
+    detection_rates: Dict[str, float]
+
+
+def sweep_additive_overheads(
+    circuit: Circuit,
+    library: CellLibrary,
+    bench: DetectorBench,
+    gate_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    n_chips: int = 40,
+    seed: int = 29,
+) -> List[OverheadPoint]:
+    """Detection rate of each baseline vs. additive-HT size."""
+    base = bench.golden_report
+    points: List[OverheadPoint] = []
+    for k in gate_counts:
+        infected = circuit.copy(f"{circuit.name}_add{k}")
+        insert_additive_burden(infected, k)
+        chips, report = population_for(infected, library, bench, n_chips, seed + k)
+        points.append(
+            OverheadPoint(
+                n_extra_gates=k,
+                dynamic_overhead_pct=100.0
+                * (report.dynamic_uw - base.dynamic_uw)
+                / base.dynamic_uw,
+                leakage_overhead_pct=100.0
+                * (report.leakage_uw - base.leakage_uw)
+                / base.leakage_uw,
+                area_overhead_pct=100.0 * (report.area_ge - base.area_ge) / base.area_ge,
+                detection_rates=bench.rates(chips),
+            )
+        )
+    return points
+
+
+def minimum_detectable_overhead(
+    points: Sequence[OverheadPoint],
+    detector: str,
+    min_rate: float = 0.5,
+) -> Optional[OverheadPoint]:
+    """Smallest-overhead sweep point the named detector flags reliably."""
+    hits = [p for p in points if p.detection_rates[detector] >= min_rate]
+    if not hits:
+        return None
+    return min(hits, key=lambda p: p.n_extra_gates)
+
+
+@dataclass
+class EvasionReport:
+    """Detection rates for golden / additive / TrojanZero populations."""
+
+    golden_rates: Dict[str, float]
+    additive_rates: Dict[str, float]
+    trojanzero_rates: Dict[str, float]
+    additive_overhead_pct: float
+    trojanzero_overhead_pct: float
+
+    def trojanzero_evades(self, margin: float = 0.15) -> bool:
+        """TZ-infected flagged no more often than golden chips (+margin)."""
+        return all(
+            self.trojanzero_rates[d] <= self.golden_rates[d] + margin
+            for d in self.trojanzero_rates
+        )
+
+    def additive_detected(self, min_rate: float = 0.5) -> bool:
+        return any(rate >= min_rate for rate in self.additive_rates.values())
+
+
+def evasion_experiment(
+    golden_circuit: Circuit,
+    trojanzero_circuit: Circuit,
+    library: CellLibrary,
+    additive_gates: int = 16,
+    model: Optional[VariationModel] = None,
+    n_chips: int = 40,
+    seed: int = 37,
+    mode: str = "paper",
+) -> EvasionReport:
+    """The paper's headline experiment (Sec. IV): additive HT caught, TZ not."""
+    bench = calibrate_detectors(
+        golden_circuit, library, model, n_golden=n_chips, seed=seed, mode=mode
+    )
+    golden_chips, _ = population_for(golden_circuit, library, bench, n_chips, seed + 1)
+
+    additive = golden_circuit.copy(f"{golden_circuit.name}_additive")
+    insert_additive_burden(additive, additive_gates)
+    additive_chips, additive_report = population_for(
+        additive, library, bench, n_chips, seed + 2
+    )
+    tz_chips, tz_report = population_for(
+        trojanzero_circuit, library, bench, n_chips, seed + 3
+    )
+    base_total = bench.golden_report.total_uw
+    return EvasionReport(
+        golden_rates=bench.rates(golden_chips),
+        additive_rates=bench.rates(additive_chips),
+        trojanzero_rates=bench.rates(tz_chips),
+        additive_overhead_pct=100.0 * (additive_report.total_uw - base_total) / base_total,
+        trojanzero_overhead_pct=100.0 * (tz_report.total_uw - base_total) / base_total,
+    )

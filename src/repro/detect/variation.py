@@ -1,0 +1,178 @@
+"""Process-variation and measurement model for side-channel detection.
+
+Power-based HT detection works against a *population* of fabricated chips:
+every die realizes the same netlist with per-gate parameter variation, and
+the tester measures power through noisy instruments.  This module samples
+such populations from a circuit's :class:`~repro.power.analysis.PowerReport`:
+
+* per-gate leakage multipliers — log-normal (threshold-voltage variation has
+  an exponential effect on subthreshold leakage);
+* per-net dynamic multipliers — Gaussian with small sigma (capacitance and
+  slew variation);
+* additive relative measurement noise on every observed quantity.
+
+Leakage is *state-dependent* (a real effect the gate-level-characterization
+detector [11] exploits): each gate's leakage is scaled by a deterministic
+factor of its input state, so applying different vectors yields linearly
+independent leakage measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..power.analysis import PowerReport
+from ..sim.bitsim import BitSimulator
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Technology-corner spread used to sample chip populations."""
+
+    #: Sigma of the log-normal per-gate leakage multiplier.
+    leakage_sigma: float = 0.10
+    #: Sigma of the Gaussian per-net dynamic multiplier.
+    dynamic_sigma: float = 0.03
+    #: Relative sigma of additive measurement noise.
+    measurement_noise: float = 0.003
+    #: Number of power regions/ports for regional dynamic measurements [10].
+    n_regions: int = 4
+
+
+@dataclass
+class ChipMeasurements:
+    """Everything the tester observes from one fabricated die."""
+
+    total_dynamic_uw: float
+    total_leakage_uw: float
+    #: Regional dynamic power (µW), one entry per power port.
+    region_dynamic_uw: np.ndarray
+    #: Leakage measured under each characterization vector (µW).
+    leakage_by_vector_uw: np.ndarray
+
+    @property
+    def total_power_uw(self) -> float:
+        return self.total_dynamic_uw + self.total_leakage_uw
+
+
+def state_leakage_factor(gate_inputs_high: int, n_inputs: int) -> float:
+    """Deterministic leakage scaling vs. input state.
+
+    Subthreshold leakage depends on which transistors are off; modelled as
+    0.55x (all inputs low) up to 1.45x (all inputs high) of nominal.
+    """
+    if n_inputs <= 0:
+        return 1.0
+    return 0.55 + 0.9 * (gate_inputs_high / n_inputs)
+
+
+def region_of(net: str, n_regions: int) -> int:
+    """Deterministic layout-region assignment for a net (stable hash)."""
+    acc = 0
+    for ch in net:
+        acc = (acc * 131 + ord(ch)) & 0x7FFFFFFF
+    return acc % n_regions
+
+
+class PopulationSampler:
+    """Samples chip populations for one circuit under one variation model.
+
+    The expensive pieces (nominal power report, state-factor table per
+    characterization vector) are computed once; each chip then only needs
+    random multipliers.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        report: PowerReport,
+        model: Optional[VariationModel] = None,
+        characterization_vectors: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.report = report
+        self.model = model or VariationModel()
+        self._rng = rng or np.random.default_rng(42)
+
+        self._gate_names: List[str] = sorted(report.leakage_by_gate)
+        self._leak_nominal = np.array(
+            [report.leakage_by_gate[g] for g in self._gate_names]
+        )
+        self._net_names: List[str] = sorted(report.dynamic_by_net)
+        self._dyn_nominal = np.array([report.dynamic_by_net[n] for n in self._net_names])
+        self._region_index = np.array(
+            [region_of(n, self.model.n_regions) for n in self._net_names]
+        )
+
+        if characterization_vectors is None:
+            characterization_vectors = (
+                self._rng.random((24, len(circuit.inputs))) < 0.5
+            ).astype(np.uint8)
+        self.characterization_vectors = np.atleast_2d(characterization_vectors)
+        self._state_factors = self._compute_state_factors()
+
+    def _compute_state_factors(self) -> np.ndarray:
+        """(n_vectors, n_gates) leakage state factors from logic simulation."""
+        n_vectors = self.characterization_vectors.shape[0]
+        factors = np.ones((n_vectors, len(self._gate_names)))
+        sim_circuit = self.circuit
+        if sim_circuit.is_sequential:
+            # Leakage characterization holds the chip quiescent: flip-flops
+            # sit in their reset (zero) state, so the combinational view with
+            # DFF outputs tied low is the physically right model.
+            sim_circuit = sim_circuit.copy(f"{sim_circuit.name}_quiescent")
+            from ..netlist.gate import GateType
+
+            for gate in list(sim_circuit.gates()):
+                if gate.gate_type is GateType.DFF:
+                    sim_circuit.replace_gate(gate.name, GateType.TIE0, ())
+        values = BitSimulator(sim_circuit).run_full(self.characterization_vectors)
+        for col, gate_name in enumerate(self._gate_names):
+            gate = sim_circuit.gate(gate_name)
+            if not gate.inputs:
+                continue
+            highs = np.zeros(n_vectors, dtype=np.int64)
+            for src in gate.inputs:
+                highs += values[src].astype(np.int64)
+            factors[:, col] = 0.55 + 0.9 * (highs / len(gate.inputs))
+        return factors
+
+    # ------------------------------------------------------------------
+    def sample_chip(self, rng: Optional[np.random.Generator] = None) -> ChipMeasurements:
+        """Fabricate one die and measure it."""
+        rng = rng or self._rng
+        m = self.model
+        leak_mult = rng.lognormal(mean=0.0, sigma=m.leakage_sigma, size=self._leak_nominal.shape)
+        dyn_mult = rng.normal(loc=1.0, scale=m.dynamic_sigma, size=self._dyn_nominal.shape)
+
+        gate_leak = self._leak_nominal * leak_mult
+        net_dyn = self._dyn_nominal * np.clip(dyn_mult, 0.5, 1.5)
+
+        total_leak = float(gate_leak.sum())
+        total_dyn = float(net_dyn.sum())
+        regions = np.zeros(m.n_regions)
+        for r in range(m.n_regions):
+            regions[r] = net_dyn[self._region_index == r].sum()
+
+        leak_vectors = self._state_factors @ gate_leak
+
+        def noisy(x: np.ndarray) -> np.ndarray:
+            return x * (1.0 + rng.normal(0.0, m.measurement_noise, size=np.shape(x)))
+
+        return ChipMeasurements(
+            total_dynamic_uw=float(noisy(np.array(total_dyn))),
+            total_leakage_uw=float(noisy(np.array(total_leak))),
+            region_dynamic_uw=noisy(regions),
+            leakage_by_vector_uw=noisy(leak_vectors),
+        )
+
+    def sample_population(
+        self, n_chips: int, rng: Optional[np.random.Generator] = None
+    ) -> List[ChipMeasurements]:
+        rng = rng or self._rng
+        return [self.sample_chip(rng) for _ in range(n_chips)]

@@ -1,0 +1,181 @@
+"""Gate-level primitives: gate types, logic evaluation, and the Gate record.
+
+The gate vocabulary follows the ISCAS85 ``.bench`` format (AND, NAND, OR, NOR,
+XOR, XNOR, NOT, BUFF) extended with the cells TrojanZero needs for Trojan
+insertion: constants (TIE0/TIE1), 2:1 multiplexers (MUX), and D flip-flops
+(DFF) for the asynchronous counter trigger of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+
+class GateType(enum.Enum):
+    """Primitive gate/cell types understood by every layer of the library."""
+
+    INPUT = "INPUT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUFF = "BUFF"
+    MUX = "MUX"  # inputs: (d0, d1, select)
+    TIE0 = "TIE0"
+    TIE1 = "TIE1"
+    DFF = "DFF"  # inputs: (d, clk); output toggles state on rising clk edge
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gate types whose output is a pure function of current inputs.
+COMBINATIONAL_TYPES = frozenset(
+    {
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+        GateType.NOT,
+        GateType.BUFF,
+        GateType.MUX,
+        GateType.TIE0,
+        GateType.TIE1,
+    }
+)
+
+#: Gate types that hold state.
+SEQUENTIAL_TYPES = frozenset({GateType.DFF})
+
+#: Gate types that accept an arbitrary number (>= 2) of inputs.
+VARIADIC_TYPES = frozenset(
+    {GateType.AND, GateType.NAND, GateType.OR, GateType.NOR, GateType.XOR, GateType.XNOR}
+)
+
+#: Exact input arity for the fixed-arity types.
+FIXED_ARITY: Dict[GateType, int] = {
+    GateType.INPUT: 0,
+    GateType.NOT: 1,
+    GateType.BUFF: 1,
+    GateType.MUX: 3,
+    GateType.TIE0: 0,
+    GateType.TIE1: 0,
+    GateType.DFF: 2,
+}
+
+#: Types whose output inverts the "natural" function (used by probability and
+#: D-calculus code to share AND/OR kernels).
+INVERTING_TYPES = frozenset({GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT})
+
+
+def _eval_and(bits: Sequence[int]) -> int:
+    out = 1
+    for b in bits:
+        out &= b
+    return out
+
+
+def _eval_or(bits: Sequence[int]) -> int:
+    out = 0
+    for b in bits:
+        out |= b
+    return out
+
+
+def _eval_xor(bits: Sequence[int]) -> int:
+    out = 0
+    for b in bits:
+        out ^= b
+    return out
+
+
+#: Scalar (single-bit) evaluation functions; values are plain ints 0/1.
+_EVAL: Dict[GateType, Callable[[Sequence[int]], int]] = {
+    GateType.AND: _eval_and,
+    GateType.NAND: lambda bits: 1 - _eval_and(bits),
+    GateType.OR: _eval_or,
+    GateType.NOR: lambda bits: 1 - _eval_or(bits),
+    GateType.XOR: _eval_xor,
+    GateType.XNOR: lambda bits: 1 - _eval_xor(bits),
+    GateType.NOT: lambda bits: 1 - bits[0],
+    GateType.BUFF: lambda bits: bits[0],
+    GateType.MUX: lambda bits: bits[1] if bits[2] else bits[0],
+    GateType.TIE0: lambda bits: 0,
+    GateType.TIE1: lambda bits: 1,
+}
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a combinational gate on scalar 0/1 inputs.
+
+    Raises ``ValueError`` for sequential or INPUT types, which have no
+    combinational function.
+    """
+    try:
+        fn = _EVAL[gate_type]
+    except KeyError:
+        raise ValueError(f"{gate_type} has no combinational evaluation") from None
+    return fn(inputs)
+
+
+def check_arity(gate_type: GateType, n_inputs: int) -> None:
+    """Raise ``ValueError`` if ``n_inputs`` is illegal for ``gate_type``."""
+    if gate_type in FIXED_ARITY:
+        expected = FIXED_ARITY[gate_type]
+        if n_inputs != expected:
+            raise ValueError(
+                f"{gate_type} requires exactly {expected} input(s), got {n_inputs}"
+            )
+    elif gate_type in VARIADIC_TYPES:
+        if n_inputs < 1:
+            raise ValueError(f"{gate_type} requires at least 1 input, got {n_inputs}")
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown gate type {gate_type}")
+
+
+@dataclass
+class Gate:
+    """One gate instance: a named output net driven by ``gate_type`` over ``inputs``.
+
+    The gate's name doubles as the name of the net it drives (standard for
+    ISCAS-style netlists, where every net has exactly one driver).
+    """
+
+    name: str
+    gate_type: GateType
+    inputs: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.inputs = tuple(self.inputs)
+        check_arity(self.gate_type, len(self.inputs))
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.gate_type in SEQUENTIAL_TYPES
+
+    @property
+    def is_input(self) -> bool:
+        return self.gate_type is GateType.INPUT
+
+    @property
+    def is_constant(self) -> bool:
+        return self.gate_type in (GateType.TIE0, GateType.TIE1)
+
+    def evaluate(self, input_values: Sequence[int]) -> int:
+        """Scalar combinational evaluation (see :func:`evaluate_gate`)."""
+        return evaluate_gate(self.gate_type, input_values)
+
+    def with_inputs(self, new_inputs: Sequence[str]) -> "Gate":
+        """Return a copy of this gate reading from ``new_inputs``."""
+        return Gate(self.name, self.gate_type, tuple(new_inputs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(self.inputs)
+        return f"{self.name} = {self.gate_type}({args})"

@@ -1,0 +1,321 @@
+"""Structural netlist transforms.
+
+These implement the circuit-editing moves the TrojanZero flow relies on:
+
+* :func:`tie_net_to_constant` — the core move of Algorithm 1: replace the
+  driver of a net by a TIE0/TIE1 cell ("connect the node to logic 0/1").
+* :func:`strip_dead_logic` — remove gates whose output no longer reaches any
+  primary output ("each of the previous gates is eliminated safely if its
+  output is not connected to any other node of the circuit").
+* :func:`propagate_constants` — synthesis-style constant folding, used by the
+  light synthesis pass to estimate the power/area the defender's tool would
+  report for the modified circuit.
+* :func:`collapse_buffers` / :func:`collapse_inverter_pairs` — cleanup passes.
+
+All transforms mutate the circuit they are given; call ``circuit.copy()``
+first to preserve the original (Algorithm 1 reverts failed removals this way).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .circuit import Circuit, NetlistError
+from .gate import Gate, GateType
+
+#: Identity / dominance behaviour of a constant on each variadic gate type:
+#: maps (gate_type, constant_value) -> "dominate0"/"dominate1"/"drop".
+_CONST_BEHAVIOUR = {
+    (GateType.AND, 0): "dominate0",
+    (GateType.AND, 1): "drop",
+    (GateType.NAND, 0): "dominate1",
+    (GateType.NAND, 1): "drop",
+    (GateType.OR, 1): "dominate1",
+    (GateType.OR, 0): "drop",
+    (GateType.NOR, 1): "dominate0",
+    (GateType.NOR, 0): "drop",
+}
+
+
+def tie_net_to_constant(circuit: Circuit, net: str, value: int) -> None:
+    """Replace the driver of ``net`` with a TIE0/TIE1 constant cell.
+
+    The fan-in of the original driver is left in place; follow up with
+    :func:`strip_dead_logic` to harvest unobservable gates (Algorithm 1 line
+    14: "Remove preceding gates and update circuit").
+    """
+    if value not in (0, 1):
+        raise ValueError(f"constant must be 0 or 1, got {value!r}")
+    tie = GateType.TIE1 if value else GateType.TIE0
+    circuit.replace_gate(net, tie, ())
+
+
+def strip_dead_logic(circuit: Circuit, protect: Iterable[str] = ()) -> List[str]:
+    """Remove every logic gate that cannot reach a primary output.
+
+    Primary inputs are never removed (their pads exist regardless).  Returns
+    the names of removed gates in removal order.
+    """
+    protected: Set[str] = set(protect) | set(circuit.outputs)
+    live: Set[str] = set()
+    stack = [n for n in protected if circuit.has_net(n)]
+    while stack:
+        net = stack.pop()
+        if net in live:
+            continue
+        live.add(net)
+        stack.extend(circuit.gate(net).inputs)
+
+    removed: List[str] = []
+    # Peel dead gates in reverse-topological waves so fanout constraints hold.
+    changed = True
+    while changed:
+        changed = False
+        for net in list(circuit.nets):
+            gate = circuit.gate(net)
+            if gate.is_input or net in live:
+                continue
+            if circuit.fanout(net):
+                continue
+            circuit.remove_gate(net)
+            removed.append(net)
+            changed = True
+    return removed
+
+
+def propagate_constants(circuit: Circuit) -> List[str]:
+    """Fold TIE0/TIE1 cells through downstream logic (synthesis-style).
+
+    This is what a power-optimizing synthesis tool does to a netlist with tied
+    nets; TrojanZero's *attacker* does **not** run it on the fabricated circuit
+    (the tie cells physically remain), but the pass is needed to (a) verify the
+    logical effect of a tie and (b) build reduced reference models.
+
+    Returns the list of nets whose drivers were simplified.
+    """
+    simplified: List[str] = []
+    changed = True
+    while changed:
+        changed = False
+        const_nets: Dict[str, int] = {
+            g.name: (1 if g.gate_type is GateType.TIE1 else 0)
+            for g in circuit.logic_gates()
+            if g.is_constant
+        }
+        if not const_nets:
+            break
+        for net in circuit.topological_order():
+            gate = circuit.gate(net)
+            if gate.is_input or gate.is_constant or gate.is_sequential:
+                continue
+            const_ins = [i for i in gate.inputs if i in const_nets]
+            if not const_ins:
+                continue
+            new_gate = _fold_gate(gate, const_nets)
+            if new_gate is not None:
+                circuit.replace_gate(net, new_gate[0], new_gate[1])
+                simplified.append(net)
+                changed = True
+    return simplified
+
+
+def _fold_gate(
+    gate: Gate, const_nets: Dict[str, int]
+) -> Optional[Tuple[GateType, Tuple[str, ...]]]:
+    """Compute the simplified (type, inputs) for a gate with constant inputs.
+
+    Returns ``None`` if no simplification applies.
+    """
+    gt = gate.gate_type
+    if gt in (GateType.NOT, GateType.BUFF):
+        src = gate.inputs[0]
+        if src in const_nets:
+            value = const_nets[src]
+            if gt is GateType.NOT:
+                value = 1 - value
+            return (GateType.TIE1 if value else GateType.TIE0, ())
+        return None
+
+    if gt is GateType.MUX:
+        d0, d1, sel = gate.inputs
+        if sel in const_nets:
+            chosen = d1 if const_nets[sel] else d0
+            if chosen in const_nets:
+                return (GateType.TIE1 if const_nets[chosen] else GateType.TIE0, ())
+            return (GateType.BUFF, (chosen,))
+        if d0 in const_nets and d1 in const_nets:
+            v0, v1 = const_nets[d0], const_nets[d1]
+            if v0 == v1:
+                return (GateType.TIE1 if v0 else GateType.TIE0, ())
+            if v0 == 0 and v1 == 1:
+                return (GateType.BUFF, (sel,))
+            return (GateType.NOT, (sel,))
+        return None
+
+    if gt in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+        remaining: List[str] = []
+        for src in gate.inputs:
+            if src in const_nets:
+                behaviour = _CONST_BEHAVIOUR[(gt, const_nets[src])]
+                if behaviour == "dominate0":
+                    return (GateType.TIE0, ())
+                if behaviour == "dominate1":
+                    return (GateType.TIE1, ())
+                # "drop": identity element, skip the constant input
+            else:
+                remaining.append(src)
+        if len(remaining) == len(gate.inputs):
+            return None
+        inverting = gt in (GateType.NAND, GateType.NOR)
+        if not remaining:
+            # All inputs were identity constants: AND()=1, NAND()=0, OR()=0, NOR()=1.
+            base = 1 if gt in (GateType.AND, GateType.NAND) else 0
+            value = 1 - base if inverting else base
+            return (GateType.TIE1 if value else GateType.TIE0, ())
+        if len(remaining) == 1:
+            return (GateType.NOT if inverting else GateType.BUFF, (remaining[0],))
+        return (gt, tuple(remaining))
+
+    if gt in (GateType.XOR, GateType.XNOR):
+        parity = 0
+        remaining = []
+        for src in gate.inputs:
+            if src in const_nets:
+                parity ^= const_nets[src]
+            else:
+                remaining.append(src)
+        if len(remaining) == len(gate.inputs):
+            return None
+        invert = (gt is GateType.XNOR) ^ (parity == 1)
+        if not remaining:
+            return (GateType.TIE1 if invert else GateType.TIE0, ())
+        if len(remaining) == 1:
+            return (GateType.NOT if invert else GateType.BUFF, (remaining[0],))
+        return (GateType.XNOR if invert else GateType.XOR, tuple(remaining))
+
+    return None
+
+
+def collapse_buffers(circuit: Circuit) -> int:
+    """Bypass BUFF gates whose output is not a primary output.  Returns count."""
+    collapsed = 0
+    for net in list(circuit.nets):
+        if not circuit.has_net(net):
+            continue
+        gate = circuit.gate(net)
+        if gate.gate_type is not GateType.BUFF or net in circuit.outputs:
+            continue
+        source = gate.inputs[0]
+        for reader in list(circuit.fanout(net)):
+            circuit.rewire_input(reader, net, source)
+        if not circuit.fanout(net):
+            circuit.remove_gate(net)
+            collapsed += 1
+    return collapsed
+
+
+def collapse_inverter_pairs(circuit: Circuit) -> int:
+    """Rewire readers of NOT(NOT(x)) chains directly to x.  Returns count."""
+    collapsed = 0
+    for net in list(circuit.nets):
+        if not circuit.has_net(net):
+            continue
+        gate = circuit.gate(net)
+        if gate.gate_type is not GateType.NOT:
+            continue
+        inner = circuit.gate(gate.inputs[0])
+        if inner.gate_type is not GateType.NOT:
+            continue
+        source = inner.inputs[0]
+        if net in circuit.outputs:
+            continue
+        for reader in list(circuit.fanout(net)):
+            circuit.rewire_input(reader, net, source)
+        if not circuit.fanout(net):
+            circuit.remove_gate(net)
+            collapsed += 1
+    return collapsed
+
+
+def insert_mux_on_net(
+    circuit: Circuit,
+    victim: str,
+    alternate: str,
+    select: str,
+    mux_name: Optional[str] = None,
+) -> str:
+    """Splice a 2:1 MUX onto ``victim``: readers see MUX(victim, alternate, select).
+
+    This is the payload mechanism of the Fig. 4 Trojan — when ``select`` is 0
+    the circuit behaves normally; when the trigger raises ``select`` the
+    corrupted ``alternate`` value drives the victim's fanout.
+
+    Readers inside the fan-in cones of ``alternate`` or ``select`` keep the
+    original connection: rewiring them would wrap the MUX's own inputs around
+    its output and create a combinational cycle (e.g. the inverting payload's
+    ``NOT(victim)`` gate must keep reading the raw victim).
+
+    When the victim is a primary output, the chip's pad keeps its name: the
+    original driver is renamed ``<victim>_pre`` and the MUX takes over the
+    victim's name, so the circuit interface is unchanged (the defender
+    compares outputs by position/name).
+
+    Returns the name of the new MUX net.
+    """
+    if not circuit.has_net(victim):
+        raise NetlistError(f"victim net {victim!r} does not exist")
+    renamed_output = False
+    if victim in circuit.outputs:
+        pre = _fresh_name(circuit, f"{victim}_pre")
+        circuit.rename_net(victim, pre)  # also fixes alternate/select references
+        alternate = pre if alternate == victim else alternate
+        select = pre if select == victim else select
+        mux = victim
+        victim = pre
+        renamed_output = True
+    else:
+        mux = mux_name or _fresh_name(circuit, f"{victim}_tz_mux")
+    excluded = _combinational_fanin(circuit, alternate) | _combinational_fanin(
+        circuit, select
+    )
+    readers = [r for r in circuit.fanout(victim) if r not in excluded]
+    circuit.add_gate(mux, GateType.MUX, (victim, alternate, select))
+    for reader in readers:
+        circuit.rewire_input(reader, victim, mux)
+    if renamed_output:
+        # rename_net left the pre-MUX net on the output list; the pad belongs
+        # to the MUX (which carries the original name).
+        circuit.unset_output(victim)
+        circuit.set_output(mux)
+    return mux
+
+
+def _combinational_fanin(circuit: Circuit, net: str) -> Set[str]:
+    """Fan-in cone of ``net`` that stops at sequential elements.
+
+    Only combinational paths can form illegal cycles; a DFF legitimately
+    breaks the loop (the Fig. 4 counter is clocked *by* host logic that the
+    payload MUX may feed).
+    """
+    cone: Set[str] = set()
+    stack = [net]
+    while stack:
+        current = stack.pop()
+        if current in cone:
+            continue
+        cone.add(current)
+        gate = circuit.gate(current)
+        if gate.is_sequential:
+            continue
+        stack.extend(gate.inputs)
+    return cone
+
+
+def _fresh_name(circuit: Circuit, base: str) -> str:
+    """Return ``base`` or ``base_k`` — the first name not already in use."""
+    if not circuit.has_net(base):
+        return base
+    k = 2
+    while circuit.has_net(f"{base}_{k}"):
+        k += 1
+    return f"{base}_{k}"

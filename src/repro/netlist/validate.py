@@ -1,0 +1,61 @@
+"""Structural lint for netlists.
+
+:func:`validate` collects every structural defect it can find instead of
+stopping at the first, so test failures and pipeline assertions read well.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import Circuit, NetlistError
+from .gate import FIXED_ARITY, GateType, VARIADIC_TYPES
+
+
+def validate(circuit: Circuit, require_outputs: bool = True) -> List[str]:
+    """Return a list of human-readable structural problems (empty = clean)."""
+    problems: List[str] = []
+
+    if not circuit.inputs and not any(g.is_constant for g in circuit.gates()):
+        problems.append("circuit has no primary inputs and no constant sources")
+    if require_outputs and not circuit.outputs:
+        problems.append("circuit has no primary outputs")
+
+    known = set(circuit.nets)
+    for gate in circuit.gates():
+        for net in gate.inputs:
+            if net not in known:
+                problems.append(f"gate {gate.name!r} reads undriven net {net!r}")
+        gt = gate.gate_type
+        n = len(gate.inputs)
+        if gt in FIXED_ARITY and n != FIXED_ARITY[gt]:
+            problems.append(f"gate {gate.name!r}: {gt} arity {n}")
+        elif gt in VARIADIC_TYPES and n < 1:
+            problems.append(f"gate {gate.name!r}: {gt} has no inputs")
+        if gt in VARIADIC_TYPES and len(set(gate.inputs)) != n and gt in (
+            GateType.XOR,
+            GateType.XNOR,
+        ):
+            problems.append(
+                f"gate {gate.name!r}: duplicate inputs on parity gate "
+                "(cancels and is almost certainly a bug)"
+            )
+
+    for out in circuit.outputs:
+        if out not in known:
+            problems.append(f"primary output {out!r} is not driven")
+
+    try:
+        circuit.topological_order()
+    except NetlistError as exc:
+        problems.append(str(exc))
+
+    return problems
+
+
+def assert_valid(circuit: Circuit, require_outputs: bool = True) -> None:
+    """Raise :class:`NetlistError` with all findings if the circuit is invalid."""
+    problems = validate(circuit, require_outputs=require_outputs)
+    if problems:
+        summary = "; ".join(problems[:10])
+        raise NetlistError(f"invalid netlist {circuit.name!r}: {summary}")

@@ -1,0 +1,34 @@
+"""The calibrated 65nm-class library instance used throughout the repo.
+
+One shared instance keeps every experiment on the same cost model, the way
+the paper scores everything with the same TSMC 65nm library.  The calibration
+targets are the magnitudes of Table I: ISCAS85-class circuits land at tens to
+hundreds of µW total power (dynamic-dominated at 100 MHz) and hundreds of GE.
+"""
+
+from __future__ import annotations
+
+from .library import CellLibrary, LibraryParams
+
+#: Operating/technology point for all experiments (65nm-class, 1.2 V, 100 MHz).
+TECH65_PARAMS = LibraryParams(
+    name="tech65",
+    vdd=1.2,
+    frequency_hz=100e6,
+    nand2_area_um2=1.44,
+    nand2_leakage_nw=14.0,
+    base_pin_cap_ff=1.5,
+    wire_cap_base_ff=0.8,
+    wire_cap_per_fanout_ff=0.5,
+    nand2_internal_energy_fj=1.1,
+)
+
+_LIBRARY = None
+
+
+def tech65_library() -> CellLibrary:
+    """The shared 65nm-class library (lazily constructed singleton)."""
+    global _LIBRARY
+    if _LIBRARY is None:
+        _LIBRARY = CellLibrary(TECH65_PARAMS)
+    return _LIBRARY

@@ -1,0 +1,26 @@
+"""Signal probability, switching activity, and Monte-Carlo estimation."""
+
+from .activity import switching_activity, transition_probability
+from .gates import gate_output_probability
+from .montecarlo import Estimate, mc_signal_probabilities, mc_toggle_rates
+from .propagate import (
+    DEFAULT_PI_PROBABILITY,
+    NodeProbability,
+    node_probabilities,
+    rare_nodes,
+    signal_probabilities,
+)
+
+__all__ = [
+    "gate_output_probability",
+    "signal_probabilities",
+    "node_probabilities",
+    "rare_nodes",
+    "NodeProbability",
+    "DEFAULT_PI_PROBABILITY",
+    "switching_activity",
+    "transition_probability",
+    "Estimate",
+    "mc_signal_probabilities",
+    "mc_toggle_rates",
+]

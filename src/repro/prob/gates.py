@@ -1,0 +1,90 @@
+"""Per-gate-type signal-probability transfer functions.
+
+This is the paper's "gate library": *"we develop a library comprising of
+basic and complex gates. Each gate computes the probabilities (Pg=0, Pg=1) at
+its output node based on the probabilities of signals at its inputs"*
+(Sec. II-B.2).  Inputs are assumed statistically independent — the standard
+assumption in signal-probability analysis, also made by the paper; the
+Monte-Carlo estimator in :mod:`repro.prob.montecarlo` quantifies the error
+this introduces on reconvergent circuits.
+
+All functions take/return P(signal = 1); P(= 0) is the complement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..netlist.gate import GateType
+
+
+def p_and(p_inputs: Sequence[float]) -> float:
+    """P(AND = 1) = product of input one-probabilities."""
+    out = 1.0
+    for p in p_inputs:
+        out *= p
+    return out
+
+
+def p_or(p_inputs: Sequence[float]) -> float:
+    """P(OR = 1) = 1 - product of input zero-probabilities."""
+    out = 1.0
+    for p in p_inputs:
+        out *= 1.0 - p
+    return 1.0 - out
+
+
+def p_xor(p_inputs: Sequence[float]) -> float:
+    """P(XOR = 1) via the parity recurrence p' = p + q - 2 p q."""
+    out = 0.0
+    for p in p_inputs:
+        out = out + p - 2.0 * out * p
+    return out
+
+
+def p_not(p_inputs: Sequence[float]) -> float:
+    return 1.0 - p_inputs[0]
+
+
+def p_buff(p_inputs: Sequence[float]) -> float:
+    return p_inputs[0]
+
+
+def p_mux(p_inputs: Sequence[float]) -> float:
+    """P(MUX = 1) = (1 - Ps) Pd0 + Ps Pd1 for inputs (d0, d1, select)."""
+    d0, d1, sel = p_inputs
+    return (1.0 - sel) * d0 + sel * d1
+
+
+TRANSFER: Dict[GateType, Callable[[Sequence[float]], float]] = {
+    GateType.AND: p_and,
+    GateType.NAND: lambda ps: 1.0 - p_and(ps),
+    GateType.OR: p_or,
+    GateType.NOR: lambda ps: 1.0 - p_or(ps),
+    GateType.XOR: p_xor,
+    GateType.XNOR: lambda ps: 1.0 - p_xor(ps),
+    GateType.NOT: p_not,
+    GateType.BUFF: p_buff,
+    GateType.MUX: p_mux,
+    GateType.TIE0: lambda ps: 0.0,
+    GateType.TIE1: lambda ps: 1.0,
+}
+
+
+def gate_output_probability(gate_type: GateType, p_inputs: Sequence[float]) -> float:
+    """P(output = 1) for ``gate_type`` under input independence.
+
+    DFF outputs are handled by the caller (steady-state pass-through of the
+    ``d`` probability), because they need circuit context.
+    """
+    try:
+        fn = TRANSFER[gate_type]
+    except KeyError:
+        raise ValueError(f"no probability transfer function for {gate_type}") from None
+    p = fn(p_inputs)
+    # Clamp tiny floating excursions so downstream thresholds are robust.
+    if p < 0.0:
+        return 0.0
+    if p > 1.0:
+        return 1.0
+    return p

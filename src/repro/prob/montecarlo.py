@@ -1,0 +1,97 @@
+"""Monte-Carlo signal-probability and activity estimation.
+
+Cross-checks the analytic propagation of :mod:`repro.prob.propagate` (which
+assumes input independence and is exact only on trees) by direct sampling, and
+measures *empirical* toggle rates that feed the dynamic-power model when
+simulation-based activity is requested.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..sim.bitsim import BitSimulator, random_patterns
+from ..sim.seqsim import SequentialSimulator
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A sampled probability with its 95% normal-approximation half-width."""
+
+    value: float
+    half_width: float
+    samples: int
+
+    def contains(self, p: float) -> bool:
+        return abs(p - self.value) <= self.half_width
+
+    def interval(self) -> Tuple[float, float]:
+        return (max(0.0, self.value - self.half_width), min(1.0, self.value + self.half_width))
+
+
+def _half_width(p_hat: float, n: int) -> float:
+    if n <= 0:
+        return 1.0
+    return 1.96 * math.sqrt(max(p_hat * (1.0 - p_hat), 1.0 / n) / n)
+
+
+def mc_signal_probabilities(
+    circuit: Circuit,
+    n_samples: int = 4096,
+    rng: Optional[np.random.Generator] = None,
+    pi_probabilities: Optional[Mapping[str, float]] = None,
+) -> Dict[str, Estimate]:
+    """Sampled P(net = 1) for every net of a combinational circuit."""
+    rng = rng or np.random.default_rng(0)
+    n_in = len(circuit.inputs)
+    patterns = np.zeros((n_samples, n_in), dtype=np.uint8)
+    for col, pi in enumerate(circuit.inputs):
+        p = (pi_probabilities or {}).get(pi, 0.5)
+        patterns[:, col] = rng.random(n_samples) < p
+    values = BitSimulator(circuit).run_full(patterns)
+    return {
+        net: Estimate(float(bits.mean()), _half_width(float(bits.mean()), n_samples), n_samples)
+        for net, bits in values.items()
+    }
+
+
+def mc_toggle_rates(
+    circuit: Circuit,
+    n_vectors: int = 4096,
+    rng: Optional[np.random.Generator] = None,
+    pi_probabilities: Optional[Mapping[str, float]] = None,
+) -> Dict[str, Estimate]:
+    """Empirical per-net toggle rate over a random vector *sequence*.
+
+    The toggle rate of net s is P(s changes between consecutive vectors) —
+    the α that multiplies C·Vdd²·f in the dynamic-power model.  Works for
+    sequential circuits too (DFF state evolves along the sequence).
+    """
+    rng = rng or np.random.default_rng(0)
+    n_in = len(circuit.inputs)
+    sequence = np.zeros((n_vectors, n_in), dtype=np.uint8)
+    for col, pi in enumerate(circuit.inputs):
+        p = (pi_probabilities or {}).get(pi, 0.5)
+        sequence[:, col] = rng.random(n_vectors) < p
+
+    if circuit.is_sequential:
+        sim = SequentialSimulator(circuit)
+        watch = list(circuit.nets)
+        traces = sim.run_sequence_tracking(sequence, watch)
+        result: Dict[str, Estimate] = {}
+        for net, trace in traces.items():
+            toggles = float(np.mean(trace[1:] != trace[:-1])) if n_vectors > 1 else 0.0
+            result[net] = Estimate(toggles, _half_width(toggles, n_vectors - 1), n_vectors - 1)
+        return result
+
+    values = BitSimulator(circuit).run_full(sequence)
+    result = {}
+    for net, bits in values.items():
+        toggles = float(np.mean(bits[1:] != bits[:-1])) if n_vectors > 1 else 0.0
+        result[net] = Estimate(toggles, _half_width(toggles, n_vectors - 1), n_vectors - 1)
+    return result

@@ -1,0 +1,193 @@
+"""Bit-parallel combinational logic simulation.
+
+Patterns are packed 64 per ``uint64`` word, so one pass over the netlist in
+topological order simulates 64 input vectors at once.  This is the workhorse
+behind functional testing (ModelSim substitute), fault simulation, Monte-Carlo
+probability estimation, and trigger-probability measurement.
+
+The public entry points accept/return numpy arrays:
+
+* ``patterns``: ``(num_patterns, num_inputs)`` array of 0/1 (any integer dtype)
+* results: dict net -> packed words, or ``(num_patterns, num_outputs)`` array
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gate import GateType
+
+_WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def pack_patterns(patterns: np.ndarray) -> np.ndarray:
+    """Pack ``(n_patterns, n_signals)`` 0/1 rows into ``(n_signals, n_words)`` uint64.
+
+    Bit ``k`` of word ``w`` for signal ``s`` holds pattern ``w*64 + k``.
+    """
+    patterns = np.asarray(patterns)
+    if patterns.ndim != 2:
+        raise ValueError(f"patterns must be 2-D, got shape {patterns.shape}")
+    n_patterns, n_signals = patterns.shape
+    n_words = (n_patterns + _WORD_BITS - 1) // _WORD_BITS
+    padded = np.zeros((n_words * _WORD_BITS, n_signals), dtype=np.uint64)
+    padded[:n_patterns] = patterns
+    # (n_signals, n_words, 64): bit k of each word comes from pattern w*64+k.
+    cube = padded.T.reshape(n_signals, n_words, _WORD_BITS)
+    packed = np.zeros((n_signals, n_words), dtype=np.uint64)
+    for offset in range(_WORD_BITS):
+        packed |= cube[:, :, offset] << np.uint64(offset)
+    return packed
+
+
+def unpack_patterns(packed: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Inverse of :func:`pack_patterns`: returns ``(n_patterns, n_signals)`` uint8."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    n_signals, n_words = packed.shape
+    cube = np.zeros((n_signals, n_words, _WORD_BITS), dtype=np.uint8)
+    for offset in range(_WORD_BITS):
+        cube[:, :, offset] = (packed >> np.uint64(offset)) & np.uint64(1)
+    return cube.reshape(n_signals, n_words * _WORD_BITS).T[:n_patterns].copy()
+
+
+def tail_mask(n_patterns: int) -> np.ndarray:
+    """Per-word masks selecting only the valid pattern bits."""
+    n_words = (n_patterns + _WORD_BITS - 1) // _WORD_BITS
+    masks = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+    rem = n_patterns % _WORD_BITS
+    if rem:
+        masks[-1] = np.uint64((1 << rem) - 1)
+    return masks
+
+
+class BitSimulator:
+    """Reusable bit-parallel simulator for a (combinational view of a) circuit.
+
+    Sequential gates are not allowed here; use :class:`repro.sim.seqsim` for
+    Trojan-infected (DFF-bearing) circuits.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        if circuit.is_sequential:
+            raise NetlistError(
+                f"{circuit.name!r} contains DFFs; use SequentialSimulator"
+            )
+        self.circuit = circuit
+        self._order = circuit.topological_order()
+
+    def run_packed(self, packed_inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Simulate on packed words.  ``packed_inputs`` maps PI name -> words."""
+        missing = [pi for pi in self.circuit.inputs if pi not in packed_inputs]
+        if missing:
+            raise ValueError(f"missing input values for {missing[:5]}")
+        n_words = len(next(iter(packed_inputs.values()))) if packed_inputs else 1
+        values: Dict[str, np.ndarray] = {}
+        ones = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+        zeros = np.zeros(n_words, dtype=np.uint64)
+        for net in self._order:
+            gate = self.circuit.gate(net)
+            gt = gate.gate_type
+            if gt is GateType.INPUT:
+                values[net] = np.asarray(packed_inputs[net], dtype=np.uint64)
+                continue
+            if gt is GateType.TIE0:
+                values[net] = zeros
+                continue
+            if gt is GateType.TIE1:
+                values[net] = ones
+                continue
+            ins = [values[i] for i in gate.inputs]
+            values[net] = _eval_packed(gt, ins, ones)
+        return values
+
+    def run(self, patterns: np.ndarray) -> np.ndarray:
+        """Simulate ``(n_patterns, n_inputs)`` rows; returns ``(n_patterns, n_outputs)``.
+
+        Input columns follow ``circuit.inputs`` order; output columns follow
+        ``circuit.outputs`` order.
+        """
+        patterns = np.atleast_2d(np.asarray(patterns))
+        n_patterns = patterns.shape[0]
+        if patterns.shape[1] != len(self.circuit.inputs):
+            raise ValueError(
+                f"expected {len(self.circuit.inputs)} input columns, "
+                f"got {patterns.shape[1]}"
+            )
+        packed = pack_patterns(patterns)
+        packed_inputs = {pi: packed[i] for i, pi in enumerate(self.circuit.inputs)}
+        values = self.run_packed(packed_inputs)
+        out_words = np.stack([values[o] for o in self.circuit.outputs])
+        return unpack_patterns(out_words, n_patterns)
+
+    def run_full(self, patterns: np.ndarray) -> Dict[str, np.ndarray]:
+        """Like :meth:`run` but returns every net, unpacked, keyed by name."""
+        patterns = np.atleast_2d(np.asarray(patterns))
+        n_patterns = patterns.shape[0]
+        packed = pack_patterns(patterns)
+        packed_inputs = {pi: packed[i] for i, pi in enumerate(self.circuit.inputs)}
+        values = self.run_packed(packed_inputs)
+        nets = list(values)
+        words = np.stack([values[n] for n in nets])
+        unpacked = unpack_patterns(words, n_patterns)
+        return {net: unpacked[:, i] for i, net in enumerate(nets)}
+
+
+def _eval_packed(
+    gate_type: GateType, inputs: List[np.ndarray], ones: np.ndarray
+) -> np.ndarray:
+    """Evaluate one gate on packed uint64 vectors."""
+    if gate_type is GateType.AND or gate_type is GateType.NAND:
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc &= word
+        return (acc ^ ones) if gate_type is GateType.NAND else acc
+    if gate_type is GateType.OR or gate_type is GateType.NOR:
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc |= word
+        return (acc ^ ones) if gate_type is GateType.NOR else acc
+    if gate_type is GateType.XOR or gate_type is GateType.XNOR:
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc ^= word
+        return (acc ^ ones) if gate_type is GateType.XNOR else acc
+    if gate_type is GateType.NOT:
+        return inputs[0] ^ ones
+    if gate_type is GateType.BUFF:
+        return inputs[0].copy()
+    if gate_type is GateType.MUX:
+        d0, d1, sel = inputs
+        return (d0 & (sel ^ ones)) | (d1 & sel)
+    raise NetlistError(f"cannot bit-simulate gate type {gate_type}")
+
+
+def simulate(circuit: Circuit, patterns: np.ndarray) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`BitSimulator`."""
+    return BitSimulator(circuit).run(patterns)
+
+
+def random_patterns(
+    n_patterns: int,
+    n_inputs: int,
+    rng: Optional[np.random.Generator] = None,
+    p_one: float = 0.5,
+) -> np.ndarray:
+    """Random 0/1 pattern block, optionally biased toward 1 with ``p_one``."""
+    rng = rng or np.random.default_rng()
+    return (rng.random((n_patterns, n_inputs)) < p_one).astype(np.uint8)
+
+
+def exhaustive_patterns(n_inputs: int) -> np.ndarray:
+    """All ``2**n_inputs`` patterns (careful: exponential; for small blocks)."""
+    if n_inputs > 22:
+        raise ValueError(f"exhaustive simulation of {n_inputs} inputs is infeasible")
+    if n_inputs == 0:
+        return np.zeros((1, 0), dtype=np.uint8)  # one empty assignment
+    count = 1 << n_inputs
+    idx = np.arange(count, dtype=np.uint64)
+    cols = [(idx >> np.uint64(b)) & np.uint64(1) for b in range(n_inputs)]
+    return np.stack(cols, axis=1).astype(np.uint8)

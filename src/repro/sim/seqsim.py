@@ -1,0 +1,154 @@
+"""Cycle-accurate sequential simulation for Trojan-infected circuits.
+
+The TrojanZero counter trigger (Fig. 4) is an *asynchronous* ripple counter:
+each DFF is clocked by a circuit net (the rare trigger node) or by the
+previous stage's output — no global clock is added to the host circuit.  The
+simulator therefore works edge-driven per applied input vector:
+
+1. settle the combinational logic with the current flip-flop states,
+2. find DFFs whose clock net saw a rising edge (vs. the previous settle),
+3. update those states with their settled ``d`` values,
+4. repeat — a state change may ripple a new edge into the next stage —
+   until no edges remain (bounded by #DFFs + 2 iterations).
+
+Many independent input *sequences* are simulated in parallel, packed 64 per
+uint64 word, which makes Monte-Carlo trigger-probability estimation cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+from .bitsim import _eval_packed, pack_patterns, unpack_patterns
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class SequentialSimulator:
+    """Edge-driven simulator for circuits that may contain DFFs.
+
+    Pure combinational circuits are handled too (they simply have no state),
+    so functional-testing code can treat N, N' and N'' uniformly.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self._order = circuit.topological_order()
+        self._dffs: List[str] = [
+            g.name for g in circuit.gates() if g.gate_type is GateType.DFF
+        ]
+        self._state: Dict[str, np.ndarray] = {}
+        self._prev_clk: Optional[Dict[str, np.ndarray]] = None
+        self._n_words = 0
+
+    @property
+    def dff_nets(self) -> Tuple[str, ...]:
+        return tuple(self._dffs)
+
+    def reset(self, n_sequences: int) -> None:
+        """Zero all flip-flop states for ``n_sequences`` parallel sequences."""
+        self._n_words = (n_sequences + 63) // 64
+        zeros = np.zeros(self._n_words, dtype=np.uint64)
+        self._state = {d: zeros.copy() for d in self._dffs}
+        self._prev_clk = None
+
+    def _settle(self, packed_inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Evaluate every net given PIs and current DFF states."""
+        ones = np.full(self._n_words, _ALL_ONES, dtype=np.uint64)
+        zeros = np.zeros(self._n_words, dtype=np.uint64)
+        values: Dict[str, np.ndarray] = {}
+        for net in self._order:
+            gate = self.circuit.gate(net)
+            gt = gate.gate_type
+            if gt is GateType.INPUT:
+                values[net] = packed_inputs[net]
+            elif gt is GateType.DFF:
+                values[net] = self._state[net]
+            elif gt is GateType.TIE0:
+                values[net] = zeros
+            elif gt is GateType.TIE1:
+                values[net] = ones
+            else:
+                values[net] = _eval_packed(gt, [values[i] for i in gate.inputs], ones)
+        return values
+
+    def step_packed(self, packed_inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Apply one input vector (packed across sequences); returns settled nets."""
+        if not self._state and self._dffs:
+            raise RuntimeError("call reset() before stepping")
+        values = self._settle(packed_inputs)
+        if self._dffs:
+            max_ripple = len(self._dffs) + 2
+            for _ in range(max_ripple):
+                if self._prev_clk is None:
+                    # First vector establishes the clock baseline; no edges fire.
+                    break
+                fired = False
+                for dff in self._dffs:
+                    d_net, clk_net = self.circuit.gate(dff).inputs
+                    edge = (self._prev_clk[dff] ^ _ALL_ONES) & values[clk_net]
+                    if edge.any():
+                        fired = True
+                        self._state[dff] = (self._state[dff] & (edge ^ _ALL_ONES)) | (
+                            values[d_net] & edge
+                        )
+                # Record clocks *before* re-settle so ripple edges are seen next pass.
+                self._prev_clk = {
+                    dff: values[self.circuit.gate(dff).inputs[1]].copy()
+                    for dff in self._dffs
+                }
+                if not fired:
+                    break
+                values = self._settle(packed_inputs)
+            self._prev_clk = {
+                dff: values[self.circuit.gate(dff).inputs[1]].copy()
+                for dff in self._dffs
+            }
+        return values
+
+    def run_sequences(self, sequences: np.ndarray) -> np.ndarray:
+        """Simulate ``(n_seqs, n_steps, n_inputs)``; returns outputs of same rank.
+
+        Returns ``(n_seqs, n_steps, n_outputs)`` uint8.
+        """
+        sequences = np.asarray(sequences)
+        if sequences.ndim != 3:
+            raise ValueError(f"sequences must be 3-D, got shape {sequences.shape}")
+        n_seqs, n_steps, n_inputs = sequences.shape
+        if n_inputs != len(self.circuit.inputs):
+            raise ValueError(
+                f"expected {len(self.circuit.inputs)} inputs, got {n_inputs}"
+            )
+        self.reset(n_seqs)
+        outputs = np.zeros((n_seqs, n_steps, len(self.circuit.outputs)), dtype=np.uint8)
+        for t in range(n_steps):
+            packed = pack_patterns(sequences[:, t, :])
+            packed_inputs = {pi: packed[i] for i, pi in enumerate(self.circuit.inputs)}
+            values = self.step_packed(packed_inputs)
+            out_words = np.stack([values[o] for o in self.circuit.outputs])
+            outputs[:, t, :] = unpack_patterns(out_words, n_seqs)
+        return outputs
+
+    def run_sequence_tracking(
+        self, sequence: np.ndarray, watch: List[str]
+    ) -> Dict[str, np.ndarray]:
+        """Simulate a single ``(n_steps, n_inputs)`` sequence, recording ``watch`` nets.
+
+        Returns net -> ``(n_steps,)`` uint8 trace.  Used for trigger analysis
+        and the case-study example.
+        """
+        sequence = np.atleast_2d(np.asarray(sequence))
+        n_steps = sequence.shape[0]
+        self.reset(1)
+        traces = {net: np.zeros(n_steps, dtype=np.uint8) for net in watch}
+        for t in range(n_steps):
+            packed = pack_patterns(sequence[t : t + 1, :])
+            packed_inputs = {pi: packed[i] for i, pi in enumerate(self.circuit.inputs)}
+            values = self.step_packed(packed_inputs)
+            for net in watch:
+                traces[net][t] = int(values[net][0] & np.uint64(1))
+        return traces

@@ -1,0 +1,34 @@
+"""Hardware-Trojan designs, library, payloads, and trigger analysis."""
+
+from .combinational import CombTrojanInstance, insert_additive_burden, insert_comb_trojan
+from .counter import CounterTrojanInstance, insert_counter_trojan
+from .library import TrojanDesign, default_trojan_library, insert_dummy_gates
+from .payload import PayloadInstance, splice_inverting_payload, splice_substituting_payload
+from .trigger import (
+    TriggerReport,
+    analytic_pft,
+    binomial_tail_at_least,
+    monte_carlo_pft,
+    rising_edge_probability,
+    trigger_report,
+)
+
+__all__ = [
+    "CounterTrojanInstance",
+    "insert_counter_trojan",
+    "CombTrojanInstance",
+    "insert_comb_trojan",
+    "insert_additive_burden",
+    "TrojanDesign",
+    "default_trojan_library",
+    "insert_dummy_gates",
+    "PayloadInstance",
+    "splice_inverting_payload",
+    "splice_substituting_payload",
+    "TriggerReport",
+    "trigger_report",
+    "analytic_pft",
+    "monte_carlo_pft",
+    "rising_edge_probability",
+    "binomial_tail_at_least",
+]

@@ -1,0 +1,113 @@
+"""Combinational hardware Trojans.
+
+Two roles in the reproduction:
+
+* small rare-AND-trigger Trojans are members of the attacker's HT library
+  (Algorithm 2 iterates a library of n designs, not only counters);
+* parameterized *additive* Trojans — inserted without any salvaging — are the
+  baselines the detection experiments (Fig. 3) flag, demonstrating that the
+  detectors work and that TrojanZero specifically evades them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+from ..netlist.transform import _fresh_name
+from .payload import PayloadInstance, splice_inverting_payload
+
+
+@dataclass(frozen=True)
+class CombTrojanInstance:
+    """Bookkeeping for one inserted combinational Trojan."""
+
+    trigger_inputs: Tuple[str, ...]
+    trigger_polarity: Tuple[int, ...]
+    victim: str
+    trigger_net: str
+    payload: PayloadInstance
+    added_gates: Tuple[str, ...]
+
+
+def insert_comb_trojan(
+    circuit: Circuit,
+    victim: str,
+    trigger_inputs: Sequence[str],
+    trigger_polarity: Optional[Sequence[int]] = None,
+    prefix: str = "ct",
+) -> CombTrojanInstance:
+    """Insert an AND-trigger / inverting-MUX-payload combinational Trojan.
+
+    The trigger fires when every ``trigger_inputs[i]`` equals
+    ``trigger_polarity[i]`` (default: all ones).  Choosing rare-polarity host
+    nets gives a low-probability trigger; choosing PIs gives the classic
+    "cheat code" Trojan.
+    """
+    polarity = tuple(trigger_polarity) if trigger_polarity is not None else tuple(
+        1 for _ in trigger_inputs
+    )
+    if len(polarity) != len(trigger_inputs):
+        raise ValueError("polarity length must match trigger input count")
+    if not trigger_inputs:
+        raise ValueError("trigger needs at least one input")
+
+    added: List[str] = []
+    literals: List[str] = []
+    for net, pol in zip(trigger_inputs, polarity):
+        if not circuit.has_net(net):
+            raise ValueError(f"trigger input {net!r} does not exist")
+        if pol == 1:
+            literals.append(net)
+        else:
+            inv = _fresh_name(circuit, f"{prefix}_n")
+            circuit.add_gate(inv, GateType.NOT, (net,))
+            added.append(inv)
+            literals.append(inv)
+
+    trigger = _fresh_name(circuit, f"{prefix}_trig")
+    if len(literals) == 1:
+        circuit.add_gate(trigger, GateType.BUFF, (literals[0],))
+    else:
+        circuit.add_gate(trigger, GateType.AND, tuple(literals))
+    added.append(trigger)
+
+    payload = splice_inverting_payload(circuit, victim, trigger, prefix)
+    added.extend(payload.added_gates)
+    return CombTrojanInstance(
+        trigger_inputs=tuple(trigger_inputs),
+        trigger_polarity=polarity,
+        victim=victim,
+        trigger_net=trigger,
+        payload=payload,
+        added_gates=tuple(added),
+    )
+
+
+def insert_additive_burden(
+    circuit: Circuit,
+    n_gates: int,
+    prefix: str = "hb",
+) -> List[str]:
+    """Insert ``n_gates`` of always-on parasitic logic chained from the PIs.
+
+    This models the *additive* HT burden (extra switching + leaking gates)
+    that power-based detectors are calibrated to catch; used by the Fig. 3
+    sweep to find each detector's minimum detectable overhead.
+    """
+    if n_gates < 1:
+        raise ValueError("need at least one gate")
+    pis = list(circuit.inputs)
+    if len(pis) < 2:
+        raise ValueError("circuit needs at least two primary inputs")
+    added: List[str] = []
+    prev = pis[0]
+    for k in range(n_gates):
+        name = _fresh_name(circuit, f"{prefix}{k}")
+        other = pis[(k + 1) % len(pis)]
+        circuit.add_gate(name, GateType.XOR, (prev, other))
+        added.append(name)
+        prev = name
+    return added

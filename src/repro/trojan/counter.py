@@ -1,0 +1,110 @@
+"""The asynchronous counter-based hardware Trojan of Fig. 4 (Liu et al. [14]).
+
+Structure, exactly as the paper describes it:
+
+* an *n*-bit asynchronous ripple counter: toggle flip-flops where stage 0 is
+  clocked by a rarely-switching host net and each later stage is clocked by
+  the inverted output of the previous stage;
+* a trigger ``q`` that goes high when the counter saturates (all ones);
+* a MUX payload on the victim net ``S`` selected by ``q``.
+
+Because the clock source is a rare node chosen from the host circuit, the
+counter accumulates rising edges across the defender's functional-test
+session; with the paper's parameters (2-5 bits on nodes with transition
+probability ≪ 1) the trigger probability during testing, Pft, is below 1e-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+from ..netlist.transform import _fresh_name
+from .payload import PayloadInstance, splice_inverting_payload, splice_substituting_payload
+
+
+@dataclass(frozen=True)
+class CounterTrojanInstance:
+    """Bookkeeping for one inserted counter Trojan."""
+
+    n_bits: int
+    clock_source: str
+    victim: str
+    trigger_net: str
+    state_nets: Tuple[str, ...]
+    payload: PayloadInstance
+    added_gates: Tuple[str, ...]
+
+    @property
+    def states_to_fire(self) -> int:
+        """Rising clock edges needed before the trigger asserts (from reset)."""
+        return (1 << self.n_bits) - 1
+
+
+def insert_counter_trojan(
+    circuit: Circuit,
+    victim: str,
+    clock_source: str,
+    n_bits: int,
+    alternate: Optional[str] = None,
+    prefix: str = "tz",
+) -> CounterTrojanInstance:
+    """Insert the Fig. 4 Trojan into ``circuit`` (mutating it).
+
+    Parameters
+    ----------
+    victim:
+        Host net whose fanout the payload corrupts when triggered.
+    clock_source:
+        Host net whose rising edges advance the counter — chosen from
+        rarely-activated nodes so functional testing cannot saturate it.
+    n_bits:
+        Counter width (the paper uses 2-5 bits depending on the benchmark).
+    alternate:
+        Optional existing net to substitute for the victim when triggered;
+        the default payload inverts the victim instead.
+    """
+    if n_bits < 1:
+        raise ValueError(f"counter needs at least 1 bit, got {n_bits}")
+    if not circuit.has_net(victim):
+        raise ValueError(f"victim net {victim!r} does not exist")
+    if not circuit.has_net(clock_source):
+        raise ValueError(f"clock source net {clock_source!r} does not exist")
+
+    added: List[str] = []
+    state: List[str] = []
+    clock = clock_source
+    for bit in range(n_bits):
+        q = _fresh_name(circuit, f"{prefix}_q{bit}")
+        qn = _fresh_name(circuit, f"{prefix}_qn{bit}")
+        # Toggle FF: d = NOT(q); asynchronous ripple: next stage clocks on Q̄.
+        circuit.add_gate(q, GateType.DFF, (qn, clock))
+        circuit.add_gate(qn, GateType.NOT, (q,))
+        added.extend((q, qn))
+        state.append(q)
+        clock = qn
+
+    trigger = _fresh_name(circuit, f"{prefix}_trig")
+    if n_bits == 1:
+        circuit.add_gate(trigger, GateType.BUFF, (state[0],))
+    else:
+        circuit.add_gate(trigger, GateType.AND, tuple(state))
+    added.append(trigger)
+
+    if alternate is not None:
+        payload = splice_substituting_payload(circuit, victim, alternate, trigger, prefix)
+    else:
+        payload = splice_inverting_payload(circuit, victim, trigger, prefix)
+    added.extend(payload.added_gates)
+
+    return CounterTrojanInstance(
+        n_bits=n_bits,
+        clock_source=clock_source,
+        victim=victim,
+        trigger_net=trigger,
+        state_nets=tuple(state),
+        payload=payload,
+        added_gates=tuple(added),
+    )

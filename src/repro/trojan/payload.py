@@ -1,0 +1,44 @@
+"""Trojan payload splicing.
+
+The Fig. 4 payload is a 2:1 multiplexer inserted on a victim net ``S``: with
+the trigger ``q`` low the circuit is unchanged; when ``q`` rises, the mux
+steers a corrupted value (the inverted signal, or an attacker-chosen net
+``y``) into ``S``'s fanout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+from ..netlist.transform import _fresh_name, insert_mux_on_net
+
+
+@dataclass(frozen=True)
+class PayloadInstance:
+    """Nets created while splicing a payload."""
+
+    victim: str
+    mux_net: str
+    alternate_net: str
+    added_gates: tuple
+
+
+def splice_inverting_payload(
+    circuit: Circuit, victim: str, select: str, prefix: str = "tz"
+) -> PayloadInstance:
+    """Payload that inverts ``victim`` while ``select`` is high."""
+    alt = _fresh_name(circuit, f"{prefix}_alt")
+    circuit.add_gate(alt, GateType.NOT, (victim,))
+    mux = insert_mux_on_net(circuit, victim, alt, select, _fresh_name(circuit, f"{prefix}_mux"))
+    return PayloadInstance(victim, mux, alt, (alt, mux))
+
+
+def splice_substituting_payload(
+    circuit: Circuit, victim: str, alternate: str, select: str, prefix: str = "tz"
+) -> PayloadInstance:
+    """Payload that replaces ``victim`` with an existing net while selected."""
+    mux = insert_mux_on_net(circuit, victim, alternate, select, _fresh_name(circuit, f"{prefix}_mux"))
+    return PayloadInstance(victim, mux, alternate, (mux,))

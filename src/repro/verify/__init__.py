@@ -1,0 +1,25 @@
+"""Pre-silicon verification: CNF encoding, DPLL SAT, equivalence checking."""
+
+from .cnf import Cnf, tseitin_encode
+from .equivalence import (
+    EquivalenceResult,
+    EquivalenceStatus,
+    build_miter,
+    check_equivalence,
+)
+from .sat import DpllSolver, SatResult, SatStatus, solve
+from .sweep import sat_sweep_equivalence
+
+__all__ = [
+    "sat_sweep_equivalence",
+    "Cnf",
+    "tseitin_encode",
+    "DpllSolver",
+    "SatResult",
+    "SatStatus",
+    "solve",
+    "EquivalenceStatus",
+    "EquivalenceResult",
+    "build_miter",
+    "check_equivalence",
+]

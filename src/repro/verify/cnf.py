@@ -1,0 +1,148 @@
+"""CNF formula container and Tseitin encoding of gate-level circuits.
+
+Variables are positive integers; literals are signed ints (DIMACS style).
+:func:`tseitin_encode` maps every net of a combinational circuit to a CNF
+variable and emits the standard constraint clauses per gate, enabling the
+SAT-based equivalence checking used by the pre-silicon defense model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gate import GateType
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: a clause list over integer variables."""
+
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+    n_vars: int = 0
+
+    def new_var(self) -> int:
+        self.n_vars += 1
+        return self.n_vars
+
+    def add(self, *literals: int) -> None:
+        if not literals:
+            raise ValueError("empty clause makes the formula trivially UNSAT")
+        for lit in literals:
+            if lit == 0 or abs(lit) > self.n_vars:
+                raise ValueError(f"literal {lit} out of range (n_vars={self.n_vars})")
+        self.clauses.append(tuple(literals))
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        self.add(*literals)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def to_dimacs(self) -> str:
+        lines = [f"p cnf {self.n_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+
+def _encode_and(cnf: Cnf, out: int, ins: List[int]) -> None:
+    # out -> each in;  all ins -> out.
+    for lit in ins:
+        cnf.add(-out, lit)
+    cnf.add(out, *[-lit for lit in ins])
+
+
+def _encode_or(cnf: Cnf, out: int, ins: List[int]) -> None:
+    for lit in ins:
+        cnf.add(out, -lit)
+    cnf.add(-out, *ins)
+
+
+def _encode_xor2(cnf: Cnf, out: int, a: int, b: int) -> None:
+    cnf.add(-out, a, b)
+    cnf.add(-out, -a, -b)
+    cnf.add(out, -a, b)
+    cnf.add(out, a, -b)
+
+
+def tseitin_encode(
+    circuit: Circuit, cnf: Optional[Cnf] = None
+) -> Tuple[Cnf, Dict[str, int]]:
+    """Encode a combinational circuit; returns (cnf, net -> variable map).
+
+    Passing an existing ``cnf`` lets two circuits share one formula (miter
+    construction): their input variables can then be unified with equality
+    clauses or by mapping nets onto the same variables.
+    """
+    if circuit.is_sequential:
+        raise NetlistError("Tseitin encoding covers combinational circuits only")
+    cnf = cnf if cnf is not None else Cnf()
+    var: Dict[str, int] = {}
+    for net in circuit.topological_order():
+        var[net] = cnf.new_var()
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        gt = gate.gate_type
+        out = var[net]
+        ins = [var[src] for src in gate.inputs]
+        if gt is GateType.INPUT:
+            continue
+        if gt is GateType.TIE0:
+            cnf.add(-out)
+        elif gt is GateType.TIE1:
+            cnf.add(out)
+        elif gt is GateType.BUFF:
+            cnf.add(-out, ins[0])
+            cnf.add(out, -ins[0])
+        elif gt is GateType.NOT:
+            cnf.add(-out, -ins[0])
+            cnf.add(out, ins[0])
+        elif gt is GateType.AND:
+            _encode_and(cnf, out, ins)
+        elif gt is GateType.NAND:
+            aux = cnf.new_var()
+            _encode_and(cnf, aux, ins)
+            cnf.add(-out, -aux)
+            cnf.add(out, aux)
+        elif gt is GateType.OR:
+            _encode_or(cnf, out, ins)
+        elif gt is GateType.NOR:
+            aux = cnf.new_var()
+            _encode_or(cnf, aux, ins)
+            cnf.add(-out, -aux)
+            cnf.add(out, aux)
+        elif gt in (GateType.XOR, GateType.XNOR):
+            acc = ins[0]
+            for nxt in ins[1:-1]:
+                aux = cnf.new_var()
+                _encode_xor2(cnf, aux, acc, nxt)
+                acc = aux  # running parity
+            if len(ins) == 1:
+                # Degenerate single-input parity: out == in (or inverted).
+                target = ins[0]
+                if gt is GateType.XOR:
+                    cnf.add(-out, target)
+                    cnf.add(out, -target)
+                else:
+                    cnf.add(-out, -target)
+                    cnf.add(out, target)
+            else:
+                if gt is GateType.XOR:
+                    _encode_xor2(cnf, out, acc, ins[-1])
+                else:
+                    aux = cnf.new_var()
+                    _encode_xor2(cnf, aux, acc, ins[-1])
+                    cnf.add(-out, -aux)
+                    cnf.add(out, aux)
+        elif gt is GateType.MUX:
+            d0, d1, sel = ins
+            # out == (sel ? d1 : d0)
+            cnf.add(-sel, -d1, out)
+            cnf.add(-sel, d1, -out)
+            cnf.add(sel, -d0, out)
+            cnf.add(sel, d0, -out)
+        else:  # pragma: no cover - enum is closed
+            raise NetlistError(f"cannot encode gate type {gt}")
+    return cnf, var

@@ -1,0 +1,142 @@
+"""SAT-based combinational equivalence checking (pre-silicon defense model).
+
+The paper's Fig. 1 lists equivalence checking among the pre-silicon detection
+techniques with complete coverage — which is exactly why TrojanZero attacks
+at the *foundry*, after the netlist handoff.  This module makes that concrete:
+given the golden netlist and a returned (possibly modified) netlist, a miter
+is built per primary output and solved:
+
+* random simulation first (cheap counterexample search),
+* then SAT on the per-output miter (exhaustive within a decision budget).
+
+``check_equivalence`` on an Algorithm-1-modified circuit always finds the
+functional difference — demonstrating that TrojanZero is *not* stealthy
+against a defender who can compare netlists, only against post-silicon
+testing and side channels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..sim.bitsim import BitSimulator
+from .cnf import Cnf, tseitin_encode
+from .sat import SatStatus, solve
+
+
+class EquivalenceStatus(enum.Enum):
+    EQUIVALENT = "equivalent"
+    DIFFERENT = "different"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class EquivalenceResult:
+    status: EquivalenceStatus
+    #: PI assignment witnessing the difference, when DIFFERENT.
+    counterexample: Optional[Dict[str, int]] = None
+    #: Output on which the witness differs.
+    differing_output: Optional[str] = None
+    #: Outputs proven equivalent / left undecided (budget).
+    proven_outputs: List[str] = field(default_factory=list)
+    undecided_outputs: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.status is EquivalenceStatus.EQUIVALENT
+
+
+def _random_counterexample(
+    golden: Circuit, candidate: Circuit, n_vectors: int, seed: int
+) -> Optional[Tuple[Dict[str, int], str]]:
+    rng = np.random.default_rng(seed)
+    pats = (rng.random((n_vectors, len(golden.inputs))) < 0.5).astype(np.uint8)
+    g = BitSimulator(golden).run(pats)
+    col = {name: i for i, name in enumerate(candidate.outputs)}
+    c = BitSimulator(candidate).run(pats)[:, [col[o] for o in golden.outputs]]
+    diff = g != c
+    if not diff.any():
+        return None
+    row, out_col = np.argwhere(diff)[0]
+    witness = {pi: int(pats[row, i]) for i, pi in enumerate(golden.inputs)}
+    return witness, golden.outputs[int(out_col)]
+
+
+def build_miter(
+    golden: Circuit, candidate: Circuit, output: str
+) -> Tuple[Cnf, Dict[str, int], int]:
+    """CNF asserting ``golden.output != candidate.output`` for shared inputs.
+
+    Returns (cnf, golden-net -> var map, miter literal already asserted).
+    """
+    cnf, gvar = tseitin_encode(golden)
+    cnf2, cvar = tseitin_encode(candidate, cnf)
+    # Unify primary inputs.
+    for pi in golden.inputs:
+        a, b = gvar[pi], cvar[pi]
+        cnf.add(-a, b)
+        cnf.add(a, -b)
+    # Miter: outputs differ.
+    miter = cnf.new_var()
+    a, b = gvar[output], cvar[output]
+    # miter <-> (a xor b)
+    cnf.add(-miter, a, b)
+    cnf.add(-miter, -a, -b)
+    cnf.add(miter, -a, b)
+    cnf.add(miter, a, -b)
+    cnf.add(miter)
+    return cnf, gvar, miter
+
+
+def check_equivalence(
+    golden: Circuit,
+    candidate: Circuit,
+    random_vectors: int = 512,
+    max_decisions: int = 200_000,
+    seed: int = 0,
+) -> EquivalenceResult:
+    """Prove or refute functional equivalence of two combinational circuits."""
+    if tuple(golden.inputs) != tuple(candidate.inputs):
+        raise ValueError("input interfaces differ")
+    if set(golden.outputs) != set(candidate.outputs):
+        raise ValueError("output interfaces differ")
+
+    if random_vectors > 0:
+        hit = _random_counterexample(golden, candidate, random_vectors, seed)
+        if hit is not None:
+            witness, out = hit
+            return EquivalenceResult(
+                EquivalenceStatus.DIFFERENT, witness, out
+            )
+
+    proven: List[str] = []
+    undecided: List[str] = []
+    for output in golden.outputs:
+        cnf, gvar, _ = build_miter(golden, candidate, output)
+        result = solve(cnf, max_decisions=max_decisions)
+        if result.status is SatStatus.SAT:
+            witness = {
+                pi: int(result.model[gvar[pi]]) for pi in golden.inputs
+            }
+            return EquivalenceResult(
+                EquivalenceStatus.DIFFERENT,
+                witness,
+                output,
+                proven_outputs=proven,
+                undecided_outputs=undecided,
+            )
+        if result.status is SatStatus.UNSAT:
+            proven.append(output)
+        else:
+            undecided.append(output)
+    if undecided:
+        return EquivalenceResult(
+            EquivalenceStatus.UNKNOWN,
+            proven_outputs=proven,
+            undecided_outputs=undecided,
+        )
+    return EquivalenceResult(EquivalenceStatus.EQUIVALENT, proven_outputs=proven)

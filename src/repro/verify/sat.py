@@ -1,0 +1,162 @@
+"""A small DPLL SAT solver (queue-based unit propagation, chronological
+backtracking).
+
+Built for miter-sized formulas (thousands of variables / clauses), which is
+all the pre-silicon equivalence-checking defense needs on ISCAS-scale
+circuits.  Propagation is indexed: when a literal becomes false, only the
+clauses containing it are re-examined.  A decision limit keeps worst-case
+UNSAT proofs bounded; callers treat ``UNKNOWN`` honestly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .cnf import Cnf
+
+
+class SatStatus(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # resource limit hit
+
+
+@dataclass
+class SatResult:
+    status: SatStatus
+    #: variable -> bool assignment when SAT.
+    model: Optional[Dict[int, bool]] = None
+    decisions: int = 0
+    propagations: int = 0
+
+    @property
+    def satisfiable(self) -> bool:
+        return self.status is SatStatus.SAT
+
+
+class DpllSolver:
+    """Iterative DPLL with indexed unit propagation."""
+
+    def __init__(self, cnf: Cnf, max_decisions: int = 200_000) -> None:
+        self.cnf = cnf
+        self.max_decisions = max_decisions
+        # occurs[-lit] lists clauses that may become unit when lit turns true.
+        self._occurs: Dict[int, List[int]] = {}
+        for idx, clause in enumerate(cnf.clauses):
+            for lit in clause:
+                self._occurs.setdefault(lit, []).append(idx)
+        # Branching order: most-occurring variables first.
+        counts: Dict[int, int] = {}
+        for clause in cnf.clauses:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        self._branch_order = sorted(
+            range(1, cnf.n_vars + 1), key=lambda v: -counts.get(v, 0)
+        )
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        cnf = self.cnf
+        n = cnf.n_vars
+        assign: List[int] = [0] * (n + 1)  # 0 unknown, 1 true, -1 false
+        trail: List[int] = []
+        qhead = 0
+        decisions: List[List] = []  # [trail mark, literal decided, tried flip]
+        n_decisions = 0
+        n_props = 0
+
+        def value(lit: int) -> int:
+            v = assign[abs(lit)]
+            return v if lit > 0 else -v
+
+        def enqueue(lit: int) -> bool:
+            v = value(lit)
+            if v == 1:
+                return True
+            if v == -1:
+                return False
+            assign[abs(lit)] = 1 if lit > 0 else -1
+            trail.append(lit)
+            return True
+
+        def propagate() -> bool:
+            nonlocal qhead, n_props
+            while qhead < len(trail):
+                lit = trail[qhead]
+                qhead += 1
+                for idx in self._occurs.get(-lit, ()):  # clauses losing -lit
+                    clause = cnf.clauses[idx]
+                    unassigned = 0
+                    unit = 0
+                    satisfied = False
+                    for cl in clause:
+                        v = value(cl)
+                        if v == 1:
+                            satisfied = True
+                            break
+                        if v == 0:
+                            unassigned += 1
+                            unit = cl
+                            if unassigned > 1:
+                                break
+                    if satisfied or unassigned > 1:
+                        continue
+                    if unassigned == 0:
+                        return False
+                    n_props += 1
+                    if not enqueue(unit):
+                        return False
+            return True
+
+        # Seed: assumptions plus clauses that are unit to begin with.
+        for lit in assumptions:
+            if not enqueue(lit):
+                return SatResult(SatStatus.UNSAT)
+        for clause in cnf.clauses:
+            if len(clause) == 1 and not enqueue(clause[0]):
+                return SatResult(SatStatus.UNSAT)
+        if not propagate():
+            return SatResult(SatStatus.UNSAT)
+
+        def backtrack() -> bool:
+            """Undo to the latest un-flipped decision; False if none remain."""
+            nonlocal qhead
+            while decisions:
+                mark, lit, tried = decisions[-1]
+                while len(trail) > mark:
+                    assign[abs(trail.pop())] = 0
+                qhead = min(qhead, len(trail))
+                if not tried:
+                    decisions[-1][1] = -lit
+                    decisions[-1][2] = True
+                    enqueue(-lit)
+                    return True
+                decisions.pop()
+            return False
+
+        while True:
+            if not propagate():
+                if not backtrack():
+                    return SatResult(SatStatus.UNSAT, None, n_decisions, n_props)
+                continue
+            branch = 0
+            for v in self._branch_order:
+                if assign[v] == 0:
+                    branch = v
+                    break
+            if branch == 0:
+                model = {v: assign[v] == 1 for v in range(1, n + 1)}
+                return SatResult(SatStatus.SAT, model, n_decisions, n_props)
+            n_decisions += 1
+            if n_decisions > self.max_decisions:
+                return SatResult(SatStatus.UNKNOWN, None, n_decisions, n_props)
+            decisions.append([len(trail), branch, False])
+            enqueue(branch)
+
+
+def solve(
+    cnf: Cnf, assumptions: Sequence[int] = (), max_decisions: int = 200_000
+) -> SatResult:
+    """One-shot convenience wrapper."""
+    return DpllSolver(cnf, max_decisions).solve(assumptions)

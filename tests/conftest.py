@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import c17, c432_like, c499_like, c880_like
+from repro.netlist import Circuit, GateType
+from repro.power import tech65_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    return tech65_library()
+
+
+@pytest.fixture()
+def c17_circuit():
+    return c17()
+
+
+@pytest.fixture(scope="session")
+def c432_circuit():
+    return c432_like()
+
+
+@pytest.fixture(scope="session")
+def c499_circuit():
+    return c499_like()
+
+
+@pytest.fixture(scope="session")
+def c880_circuit():
+    return c880_like()
+
+
+@pytest.fixture()
+def tiny_and_circuit():
+    """out = AND(a, b) — the smallest useful circuit."""
+    c = Circuit("tiny_and")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("out", GateType.AND, ("a", "b"))
+    c.set_output("out")
+    return c
+
+
+@pytest.fixture()
+def rare_node_circuit():
+    """A circuit with one engineered rare node and a private fan-in cone.
+
+    ``rare = AND(a0..a7)`` has P(=1) = 2^-8; it feeds output ``y`` through an
+    OR so removing it is functionally invisible unless all eight inputs are
+    high.  A second output ``z`` keeps the rest of the circuit busy.
+    """
+    c = Circuit("rare_node")
+    for i in range(8):
+        c.add_input(f"a{i}")
+    c.add_input("b")
+    c.add_gate("r1", GateType.AND, ("a0", "a1", "a2", "a3"))
+    c.add_gate("r2", GateType.AND, ("a4", "a5", "a6", "a7"))
+    c.add_gate("rare", GateType.AND, ("r1", "r2"))
+    c.add_gate("y", GateType.OR, ("rare", "b"))
+    c.add_gate("z", GateType.XOR, ("a0", "b"))
+    c.set_output("y")
+    c.set_output("z")
+    return c
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,86 @@
+"""Tests for the extension benchmarks (c1355-class, c6288-class)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import c499_like, c1355_like, c6288_like
+from repro.netlist import GateType, assert_valid
+from repro.sim import BitSimulator, compare_on_patterns
+
+
+class TestC1355:
+    def test_structure(self):
+        c = c1355_like()
+        assert_valid(c)
+        assert len(c.inputs) == 41
+        assert len(c.outputs) == 32
+        # NAND-dominated, like the historical c1355.
+        stats = c.stats()
+        assert stats.get("NAND", 0) > stats.get("XOR", 0)
+        assert 400 <= c.num_logic_gates <= 800  # real: 546
+
+    def test_equivalent_to_c499(self, rng):
+        """The defining property of the historical pair."""
+        pats = (rng.random((512, 41)) < 0.5).astype(np.uint8)
+        assert compare_on_patterns(c499_like(), c1355_like(), pats).equivalent
+
+    def test_corrects_single_errors(self, rng):
+        from repro.bench.iscas_like import _c499_signatures
+
+        c = c1355_like()
+        idx = {name: i for i, name in enumerate(c.inputs)}
+        sigs = _c499_signatures()
+        data = (rng.random(32) < 0.5).astype(np.uint8)
+        checks = np.zeros(8, dtype=np.uint8)
+        for j in range(8):
+            for i in range(32):
+                if (sigs[i] >> j) & 1:
+                    checks[j] ^= data[i]
+        vec = np.zeros((1, 41), dtype=np.uint8)
+        for i in range(32):
+            vec[0, idx[f"D{i}"]] = data[i]
+        vec[0, idx["D9"]] ^= 1  # inject error
+        for j in range(8):
+            vec[0, idx[f"C{j}"]] = checks[j]
+        vec[0, idx["EN"]] = 1
+        out = BitSimulator(c).run(vec)[0]
+        out_idx = {name: i for i, name in enumerate(c.outputs)}
+        decoded = np.array([out[out_idx[f"O{i}"]] for i in range(32)], np.uint8)
+        assert (decoded == data).all()
+
+
+class TestC6288:
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_multiplies(self, width, rng):
+        c = c6288_like(width)
+        assert_valid(c)
+        pats = (rng.random((128, 2 * width)) < 0.5).astype(np.uint8)
+        out = BitSimulator(c).run(pats)
+        weights_in = 2 ** np.arange(width, dtype=np.int64)
+        weights_out = 2 ** np.arange(2 * width, dtype=np.int64)
+        a = pats[:, :width].astype(np.int64) @ weights_in
+        b = pats[:, width:].astype(np.int64) @ weights_in
+        p = out.astype(np.int64) @ weights_out
+        assert (p == a * b).all()
+
+    def test_exhaustive_4x4(self):
+        from repro.sim import exhaustive_patterns
+
+        c = c6288_like(4)
+        pats = exhaustive_patterns(8)
+        out = BitSimulator(c).run(pats)
+        w4 = 2 ** np.arange(4, dtype=np.int64)
+        w8 = 2 ** np.arange(8, dtype=np.int64)
+        a = pats[:, :4].astype(np.int64) @ w4
+        b = pats[:, 4:].astype(np.int64) @ w4
+        assert (out.astype(np.int64) @ w8 == a * b).all()
+
+    def test_full_size_matches_historical_class(self):
+        c = c6288_like()
+        assert len(c.inputs) == 32
+        assert len(c.outputs) == 32
+        assert 2000 <= c.num_logic_gates <= 3500  # real: 2406
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            c6288_like(1)

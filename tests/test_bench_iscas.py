@@ -1,0 +1,331 @@
+"""Functional and structural tests for the ISCAS85-class benchmark circuits.
+
+These circuits stand in for the historical netlists, so beyond size/interface
+checks we verify they *work*: the ECC decoders correct errors, the ALUs add,
+the interrupt controller prioritizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BENCHMARKS,
+    build_benchmark,
+    c432_like,
+    c499_like,
+    c880_like,
+    c1908_like,
+    c3540_like,
+)
+from repro.bench.iscas_like import _c499_signatures, _c1908_signatures
+from repro.netlist import assert_valid
+from repro.sim import BitSimulator
+
+
+class TestRegistry:
+    def test_all_five_benchmarks_present(self):
+        assert set(BENCHMARKS) == {"c432", "c499", "c880", "c1908", "c3540"}
+
+    def test_build_by_name(self):
+        c = build_benchmark("c432")
+        assert c.name == "c432_like"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_benchmark("c6288")
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_structural_validity(self, name):
+        assert_valid(BENCHMARKS[name]())
+
+    @pytest.mark.parametrize(
+        "name,pis,min_gates,max_gates",
+        [
+            ("c432", 32, 120, 260),
+            ("c499", 41, 150, 260),
+            ("c880", 60, 280, 470),
+            ("c1908", 33, 600, 1000),
+            ("c3540", 50, 1100, 1900),
+        ],
+    )
+    def test_sizes_near_paper(self, name, pis, min_gates, max_gates):
+        c = BENCHMARKS[name]()
+        assert len(c.inputs) == pis
+        assert min_gates <= c.num_logic_gates <= max_gates
+
+    def test_determinism(self):
+        a, b = c880_like(), c880_like()
+        assert a.nets == b.nets
+        assert [g.inputs for g in a.gates()] == [g.inputs for g in b.gates()]
+
+
+def _input_index(circuit):
+    return {name: i for i, name in enumerate(circuit.inputs)}
+
+
+def _output_index(circuit):
+    return {name: i for i, name in enumerate(circuit.outputs)}
+
+
+class TestC432Function:
+    def test_priority_encoding(self):
+        c = c432_like()
+        idx = _input_index(c)
+        sim = BitSimulator(c)
+        # Enable bank 0 (E0=1, global mask E7=0), raise request 5 only.
+        vec = np.zeros((1, 32), dtype=np.uint8)
+        vec[0, idx["E0"]] = 1
+        vec[0, idx["R5"]] = 1
+        out = sim.run(vec)[0]
+        out_idx = _output_index(c)
+        encoded = [out[out_idx[name]] for name in c.outputs[:5]]
+        value = sum(bit << k for k, bit in enumerate(encoded))
+        assert value == 5
+
+    def test_lower_index_wins(self):
+        c = c432_like()
+        idx = _input_index(c)
+        sim = BitSimulator(c)
+        vec = np.zeros((1, 32), dtype=np.uint8)
+        vec[0, idx["E0"]] = 1
+        vec[0, idx["R3"]] = 1
+        vec[0, idx["R6"]] = 1
+        out = sim.run(vec)[0]
+        encoded = out[:5]
+        assert sum(bit << k for k, bit in enumerate(encoded)) == 3
+
+    def test_global_mask_blocks_everything(self):
+        c = c432_like()
+        idx = _input_index(c)
+        sim = BitSimulator(c)
+        vec = np.ones((1, 32), dtype=np.uint8)  # all requests, all enables
+        out = sim.run(vec)[0]
+        any_request = out[_output_index(c)[c.outputs[5]]]
+        assert any_request == 0  # E7 masks all banks
+
+
+def _c499_checks(data_bits):
+    sigs = _c499_signatures()
+    checks = np.zeros(8, dtype=np.uint8)
+    for j in range(8):
+        parity = 0
+        for i in range(32):
+            if (sigs[i] >> j) & 1:
+                parity ^= int(data_bits[i])
+        checks[j] = parity
+    return checks
+
+
+class TestC499Function:
+    def _decode(self, data, checks, enable=1):
+        c = c499_like()
+        idx = _input_index(c)
+        vec = np.zeros((1, 41), dtype=np.uint8)
+        for i in range(32):
+            vec[0, idx[f"D{i}"]] = data[i]
+        for j in range(8):
+            vec[0, idx[f"C{j}"]] = checks[j]
+        vec[0, idx["EN"]] = enable
+        out = BitSimulator(c).run(vec)[0]
+        out_idx = _output_index(c)
+        return np.array([out[out_idx[o]] for o in c.outputs], dtype=np.uint8)
+
+    def test_clean_word_passes_through(self, rng):
+        data = (rng.random(32) < 0.5).astype(np.uint8)
+        decoded = self._decode(data, _c499_checks(data))
+        assert (decoded == data).all()
+
+    @pytest.mark.parametrize("flip", [0, 7, 15, 31])
+    def test_single_error_corrected(self, flip, rng):
+        data = (rng.random(32) < 0.5).astype(np.uint8)
+        checks = _c499_checks(data)
+        corrupted = data.copy()
+        corrupted[flip] ^= 1
+        decoded = self._decode(corrupted, checks)
+        assert (decoded == data).all()
+
+    def test_correction_disabled_without_enable(self, rng):
+        data = (rng.random(32) < 0.5).astype(np.uint8)
+        checks = _c499_checks(data)
+        corrupted = data.copy()
+        corrupted[3] ^= 1
+        decoded = self._decode(corrupted, checks, enable=0)
+        assert (decoded == corrupted).all()
+
+
+def _bits(value, width):
+    return [(value >> k) & 1 for k in range(width)]
+
+
+class TestC880Function:
+    def _run(self, a, bval, k=0xFF, sel=(0, 0, 0, 0), cin=0):
+        c = c880_like()
+        idx = _input_index(c)
+        vec = np.zeros((1, 60), dtype=np.uint8)
+        for i, bit in enumerate(_bits(a, 8)):
+            vec[0, idx[f"A{i}"]] = bit
+        for i, bit in enumerate(_bits(bval, 8)):
+            vec[0, idx[f"B{i}"]] = bit
+        for i, bit in enumerate(_bits(k, 8)):
+            vec[0, idx[f"K{i}"]] = bit
+        for i, bit in enumerate(sel):
+            vec[0, idx[f"SEL{i}"]] = bit
+        vec[0, idx["CIN"]] = cin
+        out = BitSimulator(c).run(vec)[0]
+        out_idx = _output_index(c)
+        f = sum(out[out_idx[c.outputs[i]]] << i for i in range(8))
+        return c, out, out_idx, f
+
+    def test_addition(self):
+        _, _, _, f = self._run(100, 55)
+        assert f == 155
+
+    def test_addition_with_carry_in(self):
+        _, _, _, f = self._run(1, 1, cin=1)
+        assert f == 3
+
+    def test_and_operation(self):
+        _, _, _, f = self._run(0b11001100, 0b10101010, sel=(0, 0, 1, 0))
+        assert f == 0b10001000
+
+    def test_or_operation(self):
+        _, _, _, f = self._run(0b11000000, 0b00000011, sel=(0, 0, 0, 1))
+        assert f == 0b11000011
+
+    def test_xor_operation(self):
+        _, _, _, f = self._run(0b1111, 0b0101, sel=(0, 0, 1, 1))
+        assert f == 0b1010
+
+    def test_mask_gates_second_operand(self):
+        _, _, _, f = self._run(10, 0xFF, k=0x00)
+        assert f == 10  # B fully masked: A + 0
+
+    def test_zero_flag(self):
+        c, out, out_idx, f = self._run(0, 0)
+        assert f == 0
+        zero_flag = c.outputs[17]  # carry at 16, zero at 17
+        assert out[out_idx[zero_flag]] == 1
+
+    def test_equality_flag(self):
+        c, out, out_idx, _ = self._run(77, 77)
+        eq_name = c.outputs[20]
+        assert out[out_idx[eq_name]] == 1
+
+
+class TestC1908Function:
+    def _run_vec(self, data, checks, parity, en=1, ctl6=0):
+        c = c1908_like()
+        idx = _input_index(c)
+        vec = np.zeros((1, 33), dtype=np.uint8)
+        for i in range(16):
+            vec[0, idx[f"D{i}"]] = data[i]
+        for j in range(6):
+            vec[0, idx[f"C{j}"]] = checks[j]
+        vec[0, idx["P"]] = parity
+        vec[0, idx["EN"]] = en
+        vec[0, idx["CTL6"]] = ctl6
+        out = BitSimulator(c).run(vec)[0]
+        out_idx = _output_index(c)
+        corrected = np.array(
+            [out[out_idx[c.outputs[i]]] for i in range(16)], dtype=np.uint8
+        )
+        return c, out, out_idx, corrected
+
+    @staticmethod
+    def _encode(data):
+        sigs = _c1908_signatures()
+        checks = np.zeros(6, dtype=np.uint8)
+        for j in range(6):
+            parity = 0
+            for i in range(16):
+                if (sigs[i] >> j) & 1:
+                    parity ^= int(data[i])
+            checks[j] = parity
+        overall = (int(data.sum()) + int(checks.sum())) % 2
+        return checks, overall
+
+    def test_clean_word(self, rng):
+        data = (rng.random(16) < 0.5).astype(np.uint8)
+        checks, parity = self._encode(data)
+        _, _, _, corrected = self._run_vec(data, checks, parity)
+        assert (corrected == data).all()
+
+    @pytest.mark.parametrize("flip", [0, 5, 15])
+    def test_single_error_corrected_and_flagged(self, flip, rng):
+        data = (rng.random(16) < 0.5).astype(np.uint8)
+        checks, parity = self._encode(data)
+        corrupted = data.copy()
+        corrupted[flip] ^= 1
+        c, out, out_idx, corrected = self._run_vec(corrupted, checks, parity)
+        assert (corrected == data).all()
+        single_name = c.outputs[24]
+        assert out[out_idx[single_name]] == 1
+
+    def test_double_error_flagged_not_corrected_silently(self, rng):
+        data = (rng.random(16) < 0.5).astype(np.uint8)
+        checks, parity = self._encode(data)
+        corrupted = data.copy()
+        corrupted[2] ^= 1
+        corrupted[9] ^= 1
+        c, out, out_idx, _ = self._run_vec(corrupted, checks, parity)
+        double_name = c.outputs[25]
+        assert out[out_idx[double_name]] == 1
+
+    def test_crossbar_raw_view(self, rng):
+        data = (rng.random(16) < 0.5).astype(np.uint8)
+        checks, parity = self._encode(data)
+        corrupted = data.copy()
+        corrupted[4] ^= 1
+        _, _, _, view = self._run_vec(corrupted, checks, parity, ctl6=1)
+        assert (view == corrupted).all()  # raw (uncorrected) view selected
+
+
+class TestC3540Function:
+    def _run(self, a, bval, k=0xFF, ctl=0, cin=0, en=(1, 1, 1)):
+        c = c3540_like()
+        idx = _input_index(c)
+        vec = np.zeros((1, 50), dtype=np.uint8)
+        for i, bit in enumerate(_bits(a, 8)):
+            vec[0, idx[f"A{i}"]] = bit
+        for i, bit in enumerate(_bits(bval, 8)):
+            vec[0, idx[f"B{i}"]] = bit
+        for i, bit in enumerate(_bits(k, 8)):
+            vec[0, idx[f"K{i}"]] = bit
+        for i, bit in enumerate(_bits(ctl, 8)):
+            vec[0, idx[f"CTL{i}"]] = bit
+        for i, bit in enumerate(en):
+            vec[0, idx[f"EN{i}"]] = bit
+        vec[0, idx["CIN"]] = cin
+        out = BitSimulator(c).run(vec)[0]
+        out_idx = _output_index(c)
+        f = sum(out[out_idx[c.outputs[i]]] << i for i in range(8))
+        return c, out, out_idx, f
+
+    def test_addition_op(self):
+        _, _, _, f = self._run(33, 44, ctl=0)
+        assert f == 77
+
+    def test_and_op(self):
+        _, _, _, f = self._run(0b1100, 0b1010, ctl=1)
+        assert f == 0b1000
+
+    def test_or_op(self):
+        _, _, _, f = self._run(0b1100, 0b0011, ctl=2)
+        assert f == 0b1111
+
+    def test_xor_op(self):
+        _, _, _, f = self._run(0xF0, 0xFF, ctl=3)
+        assert f == 0x0F
+
+    def test_multiply_low_byte(self):
+        _, _, _, f = self._run(7, 9, ctl=8)
+        assert f == 63
+
+    def test_multiply_wraps_modulo_256(self):
+        _, _, _, f = self._run(100, 5, ctl=8)
+        assert f == (100 * 5) % 256
+
+    def test_comparator_flag(self):
+        c, out, out_idx, _ = self._run(200, 100, ctl=0)
+        gt_name = c.outputs[22]  # F[8], R[8], then carry/zero/parity/sign/ovf/eq/gt
+        assert out[out_idx[gt_name]] == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the .bench parser/writer."""
+
+import pytest
+
+from repro.bench import BenchParseError, c17, parse_bench, write_bench
+from repro.bench.c17 import C17_BENCH
+from repro.netlist import GateType
+from repro.sim import compare_exhaustive
+
+
+class TestParse:
+    def test_c17_structure(self):
+        c = c17()
+        assert len(c.inputs) == 5
+        assert len(c.outputs) == 2
+        assert c.num_logic_gates == 6
+        assert all(g.gate_type is GateType.NAND for g in c.logic_gates())
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nINPUT(a)\n  # indented comment\nOUTPUT(y)\ny = NOT(a)  # trailing\n"
+        c = parse_bench(text)
+        assert c.inputs == ("a",)
+        assert c.gate("y").gate_type is GateType.NOT
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(y)\ny = not(a)\n"
+        c = parse_bench(text)
+        assert c.gate("y").gate_type is GateType.NOT
+
+    def test_aliases(self):
+        text = "INPUT(a)\nOUTPUT(y)\nb = BUF(a)\nc = INV(b)\ny = BUFF(c)\n"
+        c = parse_bench(text)
+        assert c.gate("b").gate_type is GateType.BUFF
+        assert c.gate("c").gate_type is GateType.NOT
+
+    def test_forward_references_allowed(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NOT(m)\nm = BUFF(a)\n"
+        c = parse_bench(text)
+        assert c.gate("y").inputs == ("m",)
+
+    def test_iscas89_single_arg_dff_gets_clock(self):
+        text = "INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n"
+        c = parse_bench(text)
+        assert "CLK" in c.inputs
+        assert c.gate("q").inputs == ("d", "CLK")
+
+    def test_two_arg_dff_kept(self):
+        text = "INPUT(d)\nINPUT(ck)\nOUTPUT(q)\nq = DFF(d, ck)\n"
+        c = parse_bench(text)
+        assert c.gate("q").inputs == ("d", "ck")
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchParseError, match="FROB"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_undriven_output(self):
+        with pytest.raises(BenchParseError, match="never driven"):
+            parse_bench("INPUT(a)\nOUTPUT(nope)\ny = NOT(a)\n")
+
+    def test_duplicate_input(self):
+        with pytest.raises(BenchParseError, match="duplicate"):
+            parse_bench("INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchParseError, match="cannot parse"):
+            parse_bench("INPUT(a)\nwat is this\n")
+
+    def test_undriven_fanin_detected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+
+class TestRoundTrip:
+    def test_c17_roundtrip_is_equivalent(self):
+        original = c17()
+        rebuilt = parse_bench(write_bench(original), name="c17rt")
+        assert compare_exhaustive(original, rebuilt).equivalent
+
+    def test_roundtrip_preserves_interface(self, c432_circuit):
+        rebuilt = parse_bench(write_bench(c432_circuit))
+        assert rebuilt.inputs == c432_circuit.inputs
+        assert set(rebuilt.outputs) == set(c432_circuit.outputs)
+        assert rebuilt.num_logic_gates == c432_circuit.num_logic_gates
+
+    def test_writer_emits_topological_order(self):
+        text = write_bench(c17())
+        lines = [l for l in text.splitlines() if "=" in l]
+        seen = set()
+        for line in lines:
+            name, rhs = line.split("=")
+            args = rhs.split("(")[1].rstrip(")").split(",")
+            for arg in (a.strip() for a in args):
+                if not arg.startswith("N") or arg in seen:
+                    continue
+                # Any referenced internal net must already be defined.
+                assert arg in seen or arg in ("N1", "N2", "N3", "N6", "N7")
+            seen.add(name.strip())
+
+    def test_source_text_matches_embedded(self):
+        assert "N22 = NAND(N10, N16)" in C17_BENCH

@@ -1,0 +1,70 @@
+"""Section III case study: intruding the 8-bit ALU (c880-class) with TrojanZero.
+
+Asserts the qualitative structure of the paper's walkthrough:
+* candidate segments of AND/OR gates at P ≈ 0.997+ exist (Fig. 5);
+* Algorithm 1 salvages a two-digit number of gates;
+* a 3-bit counter HT lands with ≈ zero power/area differential;
+* Pft stays below the paper's 1e-4 bound.
+"""
+
+import pytest
+
+from repro.bench import c880_like
+from repro.core import TrojanZeroPipeline
+from repro.netlist import GateType
+from repro.prob import rare_nodes
+
+
+@pytest.fixture(scope="module")
+def case_study():
+    pipe = TrojanZeroPipeline.default()
+    return pipe.run(c880_like(), p_threshold=0.992, counter_bits=3)
+
+
+class TestCaseStudyC880:
+    def test_fig5_style_candidate_segments_exist(self, c880_circuit):
+        """AND gates whose output probability is beyond 0.992 (segment A)."""
+        rare = rare_nodes(c880_circuit, 0.992)
+        and_candidates = [
+            net
+            for net, _ in rare
+            if c880_circuit.gate(net).gate_type in (GateType.AND, GateType.NOR,
+                                                    GateType.OR)
+        ]
+        assert len(and_candidates) >= 4
+
+    def test_candidate_count_double_digit(self, case_study):
+        # Paper: |C| = 27 on c880 at Pth = 0.992.
+        assert 10 <= case_study.salvage.candidate_count <= 90
+
+    def test_expendable_gates_double_digit(self, case_study):
+        # Paper: 11 gates salvaged.
+        assert 5 <= case_study.salvage.expendable_gates <= 60
+
+    def test_salvaged_budget_covers_a_3bit_counter(self, case_study, library):
+        delta = case_study.salvage.delta
+        assert delta.area_ge > 10  # paper: 35.7 GE salvaged
+        assert delta.total_uw > 0  # paper: 7 uW salvaged
+
+    def test_inserted_design_is_3bit_counter(self, case_study):
+        assert case_study.success
+        assert case_study.insertion.design.kind == "counter"
+        assert case_study.insertion.design.size == 3
+
+    def test_zero_footprint(self, case_study):
+        d = case_study.delta_tz
+        n = case_study.power_free
+        # Paper: dTZ = 0.8 uW / 2.6 GE on 77.2 uW / 365 GE (~1%).
+        assert abs(d.total_uw) <= 0.015 * n.total_uw
+        assert abs(d.area_ge) <= 0.015 * n.area_ge
+
+    def test_pft_below_bound(self, case_study):
+        assert case_study.pft < 1e-4
+
+    def test_trigger_clock_is_a_rare_host_node(self, case_study):
+        instance = case_study.insertion.instance
+        from repro.prob import signal_probabilities
+
+        probs = signal_probabilities(case_study.insertion.infected)
+        p = probs[instance.clock_source]
+        assert max(p, 1 - p) >= 0.95

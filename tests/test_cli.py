@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_circuit_message(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["power", "c9999"])
+
+
+class TestCommands:
+    def test_power(self, capsys):
+        assert main(["power", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+        assert "GE" in out
+
+    def test_power_with_synthesis(self, capsys):
+        assert main(["power", "c432", "--synthesize"]) == 0
+        assert "c432_like" in capsys.readouterr().out
+
+    def test_prob(self, capsys):
+        assert main(["prob", "c432", "--pth", "0.975", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate nodes" in out
+
+    def test_atpg(self, capsys):
+        assert main(["atpg", "c432"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out
+
+    def test_equiv_same_circuit(self, capsys, tmp_path):
+        from repro.bench import c17, save_bench
+
+        path = tmp_path / "c17.bench"
+        save_bench(c17(), path)
+        assert main(["equiv", "c17", str(path)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_attack_writes_netlist(self, capsys, tmp_path):
+        out_path = tmp_path / "infected.bench"
+        code = main(
+            [
+                "attack",
+                "c432",
+                "--pth",
+                "0.975",
+                "--counter-bits",
+                "2",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        from repro.bench import load_bench
+
+        infected = load_bench(out_path)
+        assert infected.is_sequential  # the counter HT survived the round trip
+
+    def test_bench_file_input(self, capsys, tmp_path):
+        from repro.bench import c17, save_bench
+
+        path = tmp_path / "mine.bench"
+        save_bench(c17(), path)
+        assert main(["power", str(path)]) == 0
+        assert "mine" in capsys.readouterr().out

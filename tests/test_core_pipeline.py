@@ -1,0 +1,153 @@
+"""Integration tests: the full TrojanZero pipeline on a real benchmark.
+
+These run the complete Fig. 2 flow (thresholds -> Algorithm 1 -> Algorithm 2)
+on the c432-class circuit — small enough to finish in seconds — and assert
+the paper's structural claims, not specific numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import c432_like
+from repro.core import (
+    DefenderModel,
+    TableRow,
+    TrojanZeroPipeline,
+    compute_thresholds,
+    format_row,
+    format_table,
+    insert_trojan_zero,
+    rank_trigger_sources,
+    rank_victims,
+    salvage,
+)
+from repro.sim import functional_test
+
+
+@pytest.fixture(scope="module")
+def c432_result():
+    pipe = TrojanZeroPipeline.default()
+    return pipe.run(c432_like(), p_threshold=0.975, counter_bits=2)
+
+
+class TestPipelineInvariants:
+    def test_insertion_succeeds(self, c432_result):
+        assert c432_result.success
+
+    def test_power_ordering_n_prime_below_n(self, c432_result):
+        """N' < N'' <= N (within tolerance): the paper's core invariant."""
+        n = c432_result.power_free
+        n_prime = c432_result.power_modified
+        n_infected = c432_result.power_infected
+        assert n_prime.total_uw < n.total_uw
+        assert n_prime.area_ge < n.area_ge
+        assert n_infected.total_uw <= n.total_uw * 1.01
+        assert n_infected.area_ge <= n.area_ge * 1.01
+        assert n_infected.total_uw > n_prime.total_uw
+
+    def test_delta_tz_near_zero(self, c432_result):
+        """ΔP(TZ) ≈ 0 and ΔA(TZ) ≈ 0 (the zero-footprint claim)."""
+        d = c432_result.delta_tz
+        n = c432_result.power_free
+        assert abs(d.total_uw) <= 0.02 * n.total_uw
+        assert abs(d.area_ge) <= 0.02 * n.area_ge
+
+    def test_components_tracked_independently(self, c432_result):
+        d = c432_result.delta_tz
+        n = c432_result.power_free
+        assert abs(d.dynamic_uw) <= 0.02 * max(n.dynamic_uw, 1.0)
+        assert abs(d.leakage_uw) <= 0.02 * max(n.leakage_uw, 1.0)
+
+    def test_infected_passes_defender_tests(self, c432_result):
+        assert functional_test(
+            c432_result.insertion.infected,
+            c432_result.thresholds.circuit,
+            c432_result.thresholds.pattern_sets,
+        )
+
+    def test_attacker_can_fire_the_trigger(self, c432_result):
+        """The HT is real: attacker-chosen vectors saturate the counter.
+
+        Random vectors must NOT fire it (that is the stealth property), so we
+        emulate the attacker: search for input vectors that drive the clock
+        source low and high, then alternate them to pump rising edges.
+        """
+        infected = c432_result.insertion.infected
+        golden = c432_result.thresholds.circuit
+        instance = c432_result.insertion.instance
+        clock = instance.clock_source
+        rng = np.random.default_rng(3)
+        from repro.sim import BitSimulator, SequentialSimulator
+
+        probe = (rng.random((4096, len(golden.inputs))) < 0.5).astype(np.uint8)
+        values = BitSimulator(golden).run_full(probe)[clock]
+        lows = probe[values == 0]
+        highs = probe[values == 1]
+        assert len(highs) > 0, "clock source unreachable: degenerate trigger"
+        edges_needed = instance.states_to_fire
+        steps = []
+        for k in range(edges_needed + 1):
+            steps.append(lows[k % len(lows)])
+            steps.append(highs[k % len(highs)])
+        seq = np.stack(steps)
+        sim = SequentialSimulator(infected)
+        traces = sim.run_sequence_tracking(seq, watch=[instance.trigger_net])
+        assert traces[instance.trigger_net].any()
+
+    def test_pft_below_paper_bound(self, c432_result):
+        assert c432_result.pft is not None
+        assert c432_result.pft < 1e-3  # paper claims < 1e-4..1e-3 band
+
+    def test_candidates_and_expendables_positive(self, c432_result):
+        assert c432_result.salvage.candidate_count > 0
+        assert 0 < c432_result.salvage.expendable_gates
+
+    def test_summary_renders(self, c432_result):
+        text = c432_result.summary()
+        assert "TrojanZero on c432_like" in text
+        assert "N''" in text
+
+    def test_table_row(self, c432_result):
+        row = TableRow.from_result(c432_result)
+        assert row.circuit == "c432_like"
+        assert row.power_infected_uw is not None
+        line = format_row(row)
+        assert "c432_like" in line
+        table = format_table([row])
+        assert "Table I" in table
+
+
+class TestPipelineComponents:
+    def test_threshold_report(self, library):
+        th = compute_thresholds(c432_like(), library)
+        assert th.power.total_uw > 0
+        assert th.test_set.n_patterns > 0
+        assert th.pattern_sets and th.bespoke_sets
+        assert th.n_test_vectors >= th.test_set.n_patterns
+
+    def test_rank_victims_excludes_rare_and_dead(self, c432_circuit):
+        victims = rank_victims(c432_circuit, limit=5)
+        assert 0 < len(victims) <= 5
+        from repro.prob import signal_probabilities
+
+        probs = signal_probabilities(c432_circuit)
+        for v in victims:
+            assert 0.05 <= probs[v] <= 0.95
+
+    def test_rank_trigger_sources_rare_and_live(self, c432_circuit):
+        sources = rank_trigger_sources(
+            c432_circuit, rarity=0.95, limit=4, edges_to_fire=3,
+            session_vectors=300,
+        )
+        assert sources
+        from repro.prob import signal_probabilities
+
+        probs = signal_probabilities(c432_circuit)
+        for s in sources:
+            p = probs[s]
+            assert max(p, 1 - p) >= 0.95
+            assert 0 < p < 1  # never structurally constant
+
+    def test_counter_bits_respected(self, c432_result):
+        assert c432_result.insertion.design.size == 2
+        assert c432_result.insertion.design.kind == "counter"

@@ -1,0 +1,167 @@
+"""Unit and integration tests for the detection baselines."""
+
+import numpy as np
+import pytest
+
+from repro.detect import (
+    ChenDetector,
+    GlcDetector,
+    PopulationSampler,
+    RadDetector,
+    VariationModel,
+    calibrate_detectors,
+    evasion_experiment,
+    minimum_detectable_overhead,
+    population_for,
+    region_of,
+    state_leakage_factor,
+    sweep_additive_overheads,
+)
+from repro.power import analyze
+from repro.trojan import insert_additive_burden
+
+
+@pytest.fixture(scope="module")
+def golden_setup(c499_circuit, library):
+    bench = calibrate_detectors(c499_circuit, library, n_golden=30, seed=5)
+    return c499_circuit, bench
+
+
+class TestVariationModel:
+    def test_state_leakage_factor_range(self):
+        assert state_leakage_factor(0, 2) == pytest.approx(0.55)
+        assert state_leakage_factor(2, 2) == pytest.approx(1.45)
+        assert state_leakage_factor(0, 0) == 1.0
+
+    def test_region_assignment_stable_and_bounded(self):
+        assert region_of("some_net", 4) == region_of("some_net", 4)
+        assert 0 <= region_of("x", 4) < 4
+
+    def test_population_statistics(self, c432_circuit, library, rng):
+        report = analyze(c432_circuit, library)
+        model = VariationModel(leakage_sigma=0.1, dynamic_sigma=0.03)
+        sampler = PopulationSampler(c432_circuit, report, model, rng=rng)
+        chips = sampler.sample_population(60, rng)
+        leaks = np.array([c.total_leakage_uw for c in chips])
+        dyns = np.array([c.total_dynamic_uw for c in chips])
+        # Population centres on the nominal report...
+        assert abs(leaks.mean() - report.leakage_uw) / report.leakage_uw < 0.05
+        assert abs(dyns.mean() - report.dynamic_uw) / report.dynamic_uw < 0.02
+        # ...and actually varies chip to chip.
+        assert leaks.std() > 0
+        assert dyns.std() > 0
+
+    def test_regional_measurements_sum_to_total(self, c432_circuit, library, rng):
+        report = analyze(c432_circuit, library)
+        model = VariationModel(measurement_noise=0.0)
+        sampler = PopulationSampler(c432_circuit, report, model, rng=rng)
+        chip = sampler.sample_chip(rng)
+        assert chip.region_dynamic_uw.sum() == pytest.approx(
+            chip.total_dynamic_uw, rel=1e-6
+        )
+
+    def test_leakage_vectors_state_dependent(self, c432_circuit, library, rng):
+        report = analyze(c432_circuit, library)
+        sampler = PopulationSampler(c432_circuit, report, rng=rng)
+        chip = sampler.sample_chip(rng)
+        assert chip.leakage_by_vector_uw.std() > 0
+
+
+class TestDetectorMechanics:
+    def test_modes_validated(self):
+        with pytest.raises(ValueError):
+            RadDetector(mode="psychic")
+        with pytest.raises(ValueError):
+            ChenDetector(mode="psychic")
+        with pytest.raises(ValueError):
+            GlcDetector(mode="psychic")
+
+    def test_calibration_requires_enough_chips(self):
+        with pytest.raises(ValueError):
+            RadDetector().calibrate([])
+
+    def test_uncalibrated_statistic_rejected(self, golden_setup):
+        _, bench = golden_setup
+        fresh = RadDetector()
+        with pytest.raises(RuntimeError):
+            fresh.statistic(bench.sampler.sample_chip())
+
+    def test_false_positive_rate_low(self, golden_setup, library):
+        circuit, bench = golden_setup
+        chips, _ = population_for(circuit, library, bench, n_chips=30, seed=99)
+        rates = bench.rates(chips)
+        assert all(rate <= 0.15 for rate in rates.values()), rates
+
+
+class TestDetectionOfAdditiveHT:
+    def test_large_additive_ht_flagged(self, golden_setup, library):
+        circuit, bench = golden_setup
+        infected = circuit.copy("fat_ht")
+        insert_additive_burden(infected, 24)
+        chips, report = population_for(infected, library, bench, n_chips=30, seed=7)
+        rates = bench.rates(chips)
+        assert rates["rad"] >= 0.9
+        assert rates["chen"] >= 0.9
+
+    def test_sweep_monotone_in_overhead(self, golden_setup, library):
+        circuit, bench = golden_setup
+        points = sweep_additive_overheads(
+            circuit, library, bench, gate_counts=(1, 8, 32), n_chips=25
+        )
+        overheads = [p.dynamic_overhead_pct for p in points]
+        assert overheads == sorted(overheads)
+        assert points[-1].detection_rates["rad"] >= points[0].detection_rates["rad"]
+
+    def test_minimum_detectable_overhead_query(self, golden_setup, library):
+        circuit, bench = golden_setup
+        points = sweep_additive_overheads(
+            circuit, library, bench, gate_counts=(1, 4, 16), n_chips=25
+        )
+        hit = minimum_detectable_overhead(points, "rad")
+        assert hit is not None
+        assert hit.detection_rates["rad"] >= 0.5
+        # Rad flags sub-2% dynamic overheads (paper Fig. 3: ~0.3%).
+        assert hit.dynamic_overhead_pct < 3.0
+
+    def test_minimum_detectable_none_when_never_detected(self, golden_setup, library):
+        circuit, bench = golden_setup
+        points = sweep_additive_overheads(
+            circuit, library, bench, gate_counts=(1,), n_chips=10
+        )
+        assert minimum_detectable_overhead(points, "glc", min_rate=1.01) is None
+
+
+class TestEvasion:
+    @pytest.fixture(scope="class")
+    def tz_run(self, c499_circuit):
+        from repro.core import TrojanZeroPipeline
+
+        pipe = TrojanZeroPipeline.default()
+        return pipe.run(c499_circuit.copy(), p_threshold=0.993, counter_bits=3)
+
+    def test_paper_mode_reproduces_claim(self, tz_run, library):
+        report = evasion_experiment(
+            tz_run.thresholds.circuit,
+            tz_run.insertion.infected,
+            library,
+            additive_gates=16,
+            n_chips=25,
+            mode="paper",
+        )
+        assert report.additive_detected()
+        assert report.trojanzero_evades()
+        assert abs(report.trojanzero_overhead_pct) < 1.5
+        assert report.additive_overhead_pct > 2.0
+
+    def test_structural_mode_catches_trojanzero(self, tz_run, library):
+        """The ablation: redistribution-aware detectors defeat TrojanZero."""
+        report = evasion_experiment(
+            tz_run.thresholds.circuit,
+            tz_run.insertion.infected,
+            library,
+            additive_gates=16,
+            n_chips=25,
+            mode="structural",
+        )
+        assert report.additive_detected()
+        assert not report.trojanzero_evades()

@@ -1,0 +1,97 @@
+"""Tests for the MERO-style N-detect logic-testing defense."""
+
+import numpy as np
+import pytest
+
+from repro.atpg.mero import generate_mero_tests, mero_trigger_exposure
+from repro.sim import BitSimulator
+from repro.trojan import insert_counter_trojan
+
+
+class TestGeneration:
+    def test_rare_nodes_excited_n_times(self, rare_node_circuit):
+        mero = generate_mero_tests(
+            rare_node_circuit, rare_threshold=0.95, n_target=3, pool_size=8192
+        )
+        # 'rare' needs all 8 inputs high: P = 2^-8, pool of 8192 has ~32 hits.
+        assert mero.excitations.get("rare", 0) >= 3
+        assert mero.satisfied()
+
+    def test_counts_verified_by_simulation(self, rare_node_circuit):
+        mero = generate_mero_tests(
+            rare_node_circuit, rare_threshold=0.95, n_target=2, pool_size=8192
+        )
+        values = BitSimulator(rare_node_circuit).run_full(mero.patterns)
+        for net, p_one in mero.rare_node_list:
+            if net in mero.unreached:
+                continue
+            rare_value = 1 if p_one < 0.5 else 0
+            assert int((values[net] == rare_value).sum()) == mero.excitations[net]
+
+    def test_compact_relative_to_pool(self, c432_circuit):
+        mero = generate_mero_tests(c432_circuit, 0.95, n_target=2, pool_size=2048)
+        assert 0 < mero.n_patterns < 200
+
+    def test_no_rare_nodes_empty_set(self, c17_circuit):
+        mero = generate_mero_tests(c17_circuit, rare_threshold=0.999)
+        assert mero.n_patterns == 0
+        assert mero.satisfied()
+
+    def test_unreachable_nodes_reported(self, tiny_and_circuit):
+        from repro.netlist import GateType
+
+        # A contradiction net: AND(a, NOT(a)) can never be 1.
+        tiny_and_circuit.add_gate("na", GateType.NOT, ("a",))
+        tiny_and_circuit.add_gate("never", GateType.AND, ("a", "na"))
+        tiny_and_circuit.set_output("never")
+        mero = generate_mero_tests(
+            tiny_and_circuit, rare_threshold=0.7, pool_size=512
+        )
+        assert "never" in mero.unreached
+
+    def test_max_kept_cap(self, c432_circuit):
+        mero = generate_mero_tests(
+            c432_circuit, 0.95, n_target=10, pool_size=2048, max_kept=5
+        )
+        assert mero.n_patterns <= 5
+
+    def test_deterministic(self, c432_circuit):
+        a = generate_mero_tests(c432_circuit, 0.95, seed=3)
+        b = generate_mero_tests(c432_circuit, 0.95, seed=3)
+        assert (a.patterns == b.patterns).all()
+
+
+class TestTriggerExposure:
+    def test_mero_pumps_a_small_counter(self, rare_node_circuit):
+        """A 1-bit counter clocked by the rare node fires under MERO vectors
+        (which excite 'rare' repeatedly) even though random testing would not."""
+        infected = rare_node_circuit.copy("infected")
+        inst = insert_counter_trojan(infected, "y", "rare", n_bits=1)
+        mero = generate_mero_tests(
+            rare_node_circuit, rare_threshold=0.95, n_target=4, pool_size=8192
+        )
+        exposure = mero_trigger_exposure(
+            infected, inst.clock_source, inst.trigger_net, mero, shuffles=8
+        )
+        assert exposure > 0.5
+
+    def test_wide_counter_resists_mero(self, rare_node_circuit):
+        """The attacker's counter-width lever: a 4-bit counter needs 15 rare
+        edges, more than the compact MERO set delivers."""
+        infected = rare_node_circuit.copy("infected")
+        inst = insert_counter_trojan(infected, "y", "rare", n_bits=4)
+        mero = generate_mero_tests(
+            rare_node_circuit, rare_threshold=0.95, n_target=2, pool_size=8192
+        )
+        exposure = mero_trigger_exposure(
+            infected, inst.clock_source, inst.trigger_net, mero, shuffles=8
+        )
+        assert exposure < 0.5
+
+    def test_empty_set_zero_exposure(self, c17_circuit):
+        infected = c17_circuit.copy()
+        inst = insert_counter_trojan(infected, "N22", "N10", n_bits=2)
+        mero = generate_mero_tests(c17_circuit, rare_threshold=0.999)
+        assert mero_trigger_exposure(
+            infected, inst.clock_source, inst.trigger_net, mero
+        ) == 0.0

@@ -1,0 +1,209 @@
+"""Unit tests for netlist transforms, with functional-preservation checks."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    Circuit,
+    GateType,
+    collapse_buffers,
+    collapse_inverter_pairs,
+    insert_mux_on_net,
+    propagate_constants,
+    strip_dead_logic,
+    tie_net_to_constant,
+)
+from repro.sim import compare_exhaustive, exhaustive_patterns, simulate
+
+
+class TestTieNetToConstant:
+    def test_tie_to_one(self, tiny_and_circuit):
+        tie_net_to_constant(tiny_and_circuit, "out", 1)
+        assert tiny_and_circuit.gate("out").gate_type is GateType.TIE1
+
+    def test_tie_to_zero(self, tiny_and_circuit):
+        tie_net_to_constant(tiny_and_circuit, "out", 0)
+        out = simulate(tiny_and_circuit, exhaustive_patterns(2))
+        assert not out.any()
+
+    def test_invalid_constant_rejected(self, tiny_and_circuit):
+        with pytest.raises(ValueError):
+            tie_net_to_constant(tiny_and_circuit, "out", 2)
+
+
+class TestStripDeadLogic:
+    def test_strips_unreachable_cone(self, rare_node_circuit):
+        tie_net_to_constant(rare_node_circuit, "rare", 0)
+        removed = strip_dead_logic(rare_node_circuit)
+        # r1 and r2 fed only the tied node; both must go.
+        assert set(removed) == {"r1", "r2"}
+        assert not rare_node_circuit.has_net("r1")
+
+    def test_keeps_live_logic(self, c17_circuit):
+        assert strip_dead_logic(c17_circuit) == []
+
+    def test_protect_list(self, rare_node_circuit):
+        tie_net_to_constant(rare_node_circuit, "rare", 0)
+        removed = strip_dead_logic(rare_node_circuit, protect=["r1"])
+        assert "r1" not in removed
+        assert "r2" in removed
+
+    def test_never_removes_inputs(self, rare_node_circuit):
+        rare_node_circuit.unset_output("z")
+        strip_dead_logic(rare_node_circuit)
+        assert rare_node_circuit.has_net("b")  # input b only fed z
+
+
+class TestPropagateConstants:
+    def _folded(self, circuit):
+        propagate_constants(circuit)
+        return circuit
+
+    def test_and_with_zero_folds_to_tie0(self, tiny_and_circuit):
+        tie = tiny_and_circuit.add_gate("zero", GateType.TIE0, ())
+        tiny_and_circuit.replace_gate("out", GateType.AND, ("a", "zero"))
+        self._folded(tiny_and_circuit)
+        assert tiny_and_circuit.gate("out").gate_type is GateType.TIE0
+
+    def test_and_with_one_drops_input(self, tiny_and_circuit):
+        tiny_and_circuit.add_gate("one", GateType.TIE1, ())
+        tiny_and_circuit.replace_gate("out", GateType.AND, ("a", "b", "one"))
+        self._folded(tiny_and_circuit)
+        gate = tiny_and_circuit.gate("out")
+        assert gate.gate_type is GateType.AND
+        assert set(gate.inputs) == {"a", "b"}
+
+    def test_nand_single_remaining_becomes_not(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("one", GateType.TIE1, ())
+        c.add_gate("out", GateType.NAND, ("a", "one"))
+        c.set_output("out")
+        propagate_constants(c)
+        assert c.gate("out").gate_type is GateType.NOT
+
+    def test_xor_parity_absorbs_constants(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("one", GateType.TIE1, ())
+        c.add_gate("out", GateType.XOR, ("a", "one"))
+        c.set_output("out")
+        propagate_constants(c)
+        assert c.gate("out").gate_type is GateType.NOT
+
+    def test_mux_constant_select(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("one", GateType.TIE1, ())
+        c.add_gate("out", GateType.MUX, ("a", "b", "one"))
+        c.set_output("out")
+        propagate_constants(c)
+        gate = c.gate("out")
+        assert gate.gate_type is GateType.BUFF
+        assert gate.inputs == ("b",)
+
+    def test_mux_constant_data_becomes_select_function(self):
+        c = Circuit()
+        c.add_input("s")
+        c.add_gate("zero", GateType.TIE0, ())
+        c.add_gate("one", GateType.TIE1, ())
+        c.add_gate("out", GateType.MUX, ("one", "zero", "s"))
+        c.set_output("out")
+        propagate_constants(c)
+        assert c.gate("out").gate_type is GateType.NOT
+
+    def test_chain_folds_transitively(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("zero", GateType.TIE0, ())
+        c.add_gate("m", GateType.OR, ("zero", "zero"))
+        c.add_gate("out", GateType.AND, ("a", "m"))
+        c.set_output("out")
+        propagate_constants(c)
+        assert c.gate("out").gate_type is GateType.TIE0
+
+    def test_fold_preserves_function_on_c17_with_tie(self, c17_circuit):
+        # Tie an internal net and check folding agrees with the tied circuit.
+        tied = c17_circuit.copy("tied")
+        tie_net_to_constant(tied, "N10", 1)
+        folded = tied.copy("folded")
+        propagate_constants(folded)
+        assert compare_exhaustive(tied, folded).equivalent
+
+
+class TestCollapsePasses:
+    def test_collapse_buffers(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("buf", GateType.BUFF, ("a",))
+        c.add_gate("out", GateType.NOT, ("buf",))
+        c.set_output("out")
+        assert collapse_buffers(c) == 1
+        assert c.gate("out").inputs == ("a",)
+
+    def test_buffer_driving_output_kept(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("buf", GateType.BUFF, ("a",))
+        c.set_output("buf")
+        assert collapse_buffers(c) == 0
+
+    def test_collapse_inverter_pairs(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("n1", GateType.NOT, ("a",))
+        c.add_gate("n2", GateType.NOT, ("n1",))
+        c.add_gate("out", GateType.AND, ("n2", "a"))
+        c.set_output("out")
+        before = simulate(c.copy(), exhaustive_patterns(1))
+        assert collapse_inverter_pairs(c) == 1
+        after = simulate(c, exhaustive_patterns(1))
+        assert (before == after).all()
+        assert c.gate("out").inputs == ("a", "a")
+
+
+class TestInsertMux:
+    def test_splice_redirects_readers(self, c17_circuit):
+        c17_circuit.add_input("sel")
+        c17_circuit.add_input("alt")
+        mux = insert_mux_on_net(c17_circuit, "N11", "alt", "sel")
+        assert mux in c17_circuit.gate("N16").inputs
+        assert mux in c17_circuit.gate("N19").inputs
+        assert c17_circuit.gate(mux).inputs == ("N11", "alt", "sel")
+
+    def test_splice_on_primary_output_keeps_pad_name(self, c17_circuit):
+        c17_circuit.add_input("sel")
+        c17_circuit.add_input("alt")
+        mux = insert_mux_on_net(c17_circuit, "N22", "alt", "sel")
+        # The chip interface is unchanged: the output is still called N22,
+        # now driven by the payload MUX; the old driver became N22_pre.
+        assert mux == "N22"
+        assert "N22" in c17_circuit.outputs
+        assert c17_circuit.gate("N22").gate_type is GateType.MUX
+        assert c17_circuit.has_net("N22_pre")
+
+    def test_inverting_payload_does_not_create_cycle(self, c17_circuit):
+        c17_circuit.add_input("sel")
+        c17_circuit.add_gate("alt", GateType.NOT, ("N11",))
+        insert_mux_on_net(c17_circuit, "N11", "alt", "sel")
+        c17_circuit.topological_order()  # must not raise
+
+    def test_select_in_fanout_does_not_create_cycle(self, c17_circuit):
+        # Select derived from the victim itself: the classic trap.
+        c17_circuit.add_input("alt")
+        c17_circuit.add_gate("sel", GateType.BUFF, ("N11",))
+        insert_mux_on_net(c17_circuit, "N11", "alt", "sel")
+        c17_circuit.topological_order()
+
+    def test_functional_transparency_when_select_low(self, c17_circuit):
+        golden = c17_circuit.copy("golden")
+        c17_circuit.add_input("sel")
+        c17_circuit.add_gate("alt", GateType.NOT, ("N11",))
+        insert_mux_on_net(c17_circuit, "N11", "alt", "sel")
+        pats = exhaustive_patterns(5)
+        golden_out = simulate(golden, pats)
+        # Same patterns with sel stuck at 0 (appended as the 6th input).
+        pats6 = np.concatenate([pats, np.zeros((pats.shape[0], 1), np.uint8)], axis=1)
+        infected_out = simulate(c17_circuit, pats6)
+        assert (golden_out == infected_out).all()

@@ -1,0 +1,60 @@
+"""Unit tests for the structural lint."""
+
+import pytest
+
+from repro.netlist import Circuit, GateType, NetlistError, assert_valid, validate
+
+
+def test_clean_circuit_passes(c17_circuit):
+    assert validate(c17_circuit) == []
+    assert_valid(c17_circuit)
+
+
+def test_missing_outputs_flagged(tiny_and_circuit):
+    tiny_and_circuit.unset_output("out")
+    problems = validate(tiny_and_circuit)
+    assert any("output" in p for p in problems)
+    # But the relaxed mode allows it (useful for building blocks).
+    assert validate(tiny_and_circuit, require_outputs=False) == []
+
+
+def test_undriven_net_flagged():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g", GateType.AND, ("a", "phantom"))
+    c.set_output("g")
+    problems = validate(c)
+    assert any("phantom" in p for p in problems)
+
+
+def test_empty_circuit_flagged():
+    problems = validate(Circuit())
+    assert problems  # no inputs, no outputs
+
+
+def test_duplicate_parity_inputs_flagged():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g", GateType.XOR, ("a", "a"))
+    c.set_output("g")
+    problems = validate(c)
+    assert any("duplicate" in p for p in problems)
+
+
+def test_assert_valid_raises_with_summary():
+    c = Circuit("broken")
+    c.add_input("a")
+    c.add_gate("g", GateType.AND, ("a", "phantom"))
+    c.set_output("g")
+    with pytest.raises(NetlistError, match="broken"):
+        assert_valid(c)
+
+
+def test_cycle_reported_not_raised():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("x", GateType.AND, ("a", "y"))
+    c.add_gate("y", GateType.AND, ("a", "x"))
+    c.set_output("x")
+    problems = validate(c)
+    assert any("cycle" in p for p in problems)

@@ -1,0 +1,180 @@
+"""Unit tests for the cell library, synthesis-lite, and power/area analysis."""
+
+import pytest
+
+from repro.netlist import Circuit, GateType
+from repro.power import (
+    CellLibrary,
+    LibraryParams,
+    MAX_FANIN,
+    analyze,
+    map_circuit,
+    optimize_netlist,
+    tech65_library,
+)
+from repro.sim import compare_exhaustive
+
+
+class TestCellLibrary:
+    def test_reference_nand2_defines_ge(self, library):
+        assert library.ge_area_um2 == pytest.approx(
+            library.cell(GateType.NAND, 2, 1).area_um2
+        )
+
+    def test_drive_strengths_scale_up(self, library):
+        x1 = library.cell(GateType.NAND, 2, 1)
+        x2 = library.cell(GateType.NAND, 2, 2)
+        x4 = library.cell(GateType.NAND, 2, 4)
+        assert x1.area_um2 < x2.area_um2 < x4.area_um2
+        assert x1.leakage_nw < x2.leakage_nw < x4.leakage_nw
+        assert x1.max_load_ff < x2.max_load_ff < x4.max_load_ff
+
+    def test_wider_gates_cost_more(self, library):
+        assert (
+            library.cell(GateType.AND, 2, 1).area_um2
+            < library.cell(GateType.AND, 4, 1).area_um2
+        )
+
+    def test_inverter_smaller_than_nand(self, library):
+        assert (
+            library.cell(GateType.NOT, 1, 1).area_um2
+            < library.cell(GateType.NAND, 2, 1).area_um2
+        )
+
+    def test_dff_is_expensive(self, library):
+        dff = library.cell(GateType.DFF, 2, 1)
+        assert dff.area_um2 / library.ge_area_um2 > 3.0
+
+    def test_wide_gate_decomposition(self, library):
+        cells = library.cells_for_gate(GateType.AND, 10, 1)
+        assert len(cells) > 1
+        # Decomposition must cover all 10 leaves.
+        total_leaves = sum(c.n_inputs for c in cells) - (len(cells) - 1)
+        assert total_leaves == 10
+        # Root cell implements the requested function type.
+        assert cells[-1].gate_type is GateType.AND
+
+    def test_inverting_wide_gate_keeps_polarity_at_root(self, library):
+        cells = library.cells_for_gate(GateType.NAND, 9, 1)
+        assert cells[-1].gate_type is GateType.NAND
+        assert all(c.gate_type is GateType.AND for c in cells[:-1])
+
+    def test_select_drive_covers_load(self, library):
+        assert library.select_drive(GateType.NAND, 2, 5.0) == 1
+        assert library.select_drive(GateType.NAND, 2, 20.0) == 2
+        assert library.select_drive(GateType.NAND, 2, 40.0) == 4
+        # Saturates at the largest drive.
+        assert library.select_drive(GateType.NAND, 2, 500.0) == 4
+
+    def test_singleton_shared(self):
+        assert tech65_library() is tech65_library()
+
+
+class TestMapping:
+    def test_every_logic_gate_mapped(self, c432_circuit, library):
+        mapped = map_circuit(c432_circuit, library)
+        assert set(mapped.cells) == {g.name for g in c432_circuit.logic_gates()}
+
+    def test_high_fanout_gets_bigger_drive(self, library):
+        c = Circuit("fanout")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("src", GateType.AND, ("a", "b"))
+        for k in range(20):
+            c.add_gate(f"r{k}", GateType.NOT, ("src",))
+            c.set_output(f"r{k}")
+        mapped = map_circuit(c, library)
+        assert mapped.drive_of["src"] > 1
+        assert mapped.drive_of["r0"] == 1
+
+
+class TestOptimize:
+    def test_preserves_function(self, c17_circuit):
+        opt = optimize_netlist(c17_circuit)
+        assert compare_exhaustive(c17_circuit, opt).equivalent
+
+    def test_folds_tie_fed_logic(self):
+        c = Circuit("foldme")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("zero", GateType.TIE0, ())
+        c.add_gate("half", GateType.XOR, ("a", "zero"))  # == a
+        c.add_gate("out", GateType.AND, ("half", "b"))
+        c.set_output("out")
+        opt = optimize_netlist(c)
+        assert compare_exhaustive(c, opt).equivalent
+        # The XOR with a constant must have been folded away or reduced.
+        assert opt.num_logic_gates < c.num_logic_gates
+
+    def test_strips_dead_logic(self, rare_node_circuit):
+        rare_node_circuit.unset_output("y")  # strands rare/r1/r2
+        opt = optimize_netlist(rare_node_circuit)
+        assert not opt.has_net("rare")
+
+    def test_idempotent(self, c880_circuit):
+        once = optimize_netlist(c880_circuit)
+        twice = optimize_netlist(once)
+        assert once.num_logic_gates == twice.num_logic_gates
+
+
+class TestAnalysis:
+    def test_report_components_consistent(self, c432_circuit, library):
+        report = analyze(c432_circuit, library)
+        assert report.total_uw == pytest.approx(report.dynamic_uw + report.leakage_uw)
+        assert report.area_ge == pytest.approx(report.area_um2 / library.ge_area_um2)
+        assert report.dynamic_uw > 0
+        assert report.leakage_uw > 0
+
+    def test_breakdowns_sum_to_totals(self, c432_circuit, library):
+        report = analyze(c432_circuit, library)
+        assert sum(report.dynamic_by_net.values()) == pytest.approx(report.dynamic_uw)
+        assert sum(report.leakage_by_gate.values()) == pytest.approx(report.leakage_uw)
+        assert sum(report.area_by_gate.values()) == pytest.approx(report.area_um2)
+
+    def test_adding_a_gate_increases_everything(self, c432_circuit, library):
+        before = analyze(c432_circuit, library)
+        bigger = c432_circuit.copy("bigger")
+        bigger.add_gate("extra", GateType.XOR, (bigger.inputs[0], bigger.inputs[1]))
+        after = analyze(bigger, library)
+        assert after.area_um2 > before.area_um2
+        assert after.leakage_uw > before.leakage_uw
+        assert after.dynamic_uw > before.dynamic_uw
+
+    def test_constant_nets_consume_no_dynamic(self, library):
+        c = Circuit("quiet")
+        c.add_input("a")
+        c.add_gate("one", GateType.TIE1, ())
+        c.add_gate("buf", GateType.BUFF, ("one",))
+        c.add_gate("out", GateType.AND, ("a", "buf"))
+        c.set_output("out")
+        report = analyze(c, library)
+        assert report.dynamic_by_net["one"] == 0.0
+        assert report.dynamic_by_net["buf"] == 0.0
+
+    def test_frequency_scales_dynamic_only(self, c432_circuit, library):
+        slow = analyze(c432_circuit, library, frequency_hz=50e6)
+        fast = analyze(c432_circuit, library, frequency_hz=100e6)
+        assert fast.dynamic_uw == pytest.approx(2 * slow.dynamic_uw)
+        assert fast.leakage_uw == pytest.approx(slow.leakage_uw)
+
+    def test_delta_and_within(self, c432_circuit, library):
+        a = analyze(c432_circuit, library)
+        smaller = c432_circuit.copy("smaller")
+        victim = next(
+            g.name
+            for g in smaller.logic_gates()
+            if not smaller.fanout(g.name) and g.name not in smaller.outputs
+        ) if any(
+            not smaller.fanout(g.name) and g.name not in smaller.outputs
+            for g in smaller.logic_gates()
+        ) else None
+        delta = a.delta(a)
+        assert delta.total_uw == 0
+        assert delta.within(0.01, 0.01)
+
+    def test_calibration_magnitudes(self, c880_circuit, library):
+        """The 65nm-class calibration lands in Table I's order of magnitude."""
+        report = analyze(optimize_netlist(c880_circuit), library)
+        assert 20 < report.total_uw < 300       # paper: 77.2 uW
+        assert 150 < report.area_ge < 1200      # paper: 365.4 GE
+        assert report.dynamic_uw > report.leakage_uw  # dynamic-dominated node

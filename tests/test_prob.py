@@ -1,0 +1,209 @@
+"""Unit tests for signal probability, activity, and Monte-Carlo estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netlist import Circuit, GateType
+from repro.prob import (
+    Estimate,
+    gate_output_probability,
+    mc_signal_probabilities,
+    mc_toggle_rates,
+    node_probabilities,
+    rare_nodes,
+    signal_probabilities,
+    switching_activity,
+    transition_probability,
+)
+
+
+class TestGateTransferFunctions:
+    def test_and_product(self):
+        assert gate_output_probability(GateType.AND, [0.5, 0.5]) == 0.25
+        assert gate_output_probability(GateType.AND, [0.5] * 4) == pytest.approx(1 / 16)
+
+    def test_nand_complement(self):
+        assert gate_output_probability(GateType.NAND, [0.5, 0.5]) == 0.75
+
+    def test_or_demorgan(self):
+        assert gate_output_probability(GateType.OR, [0.5, 0.5]) == 0.75
+        assert gate_output_probability(GateType.NOR, [0.5, 0.5]) == 0.25
+
+    def test_xor_recurrence(self):
+        assert gate_output_probability(GateType.XOR, [0.5, 0.5]) == 0.5
+        assert gate_output_probability(GateType.XOR, [0.3, 0.3]) == pytest.approx(0.42)
+
+    def test_xor_of_equal_halves_stays_half(self):
+        assert gate_output_probability(GateType.XOR, [0.5] * 7) == pytest.approx(0.5)
+
+    def test_not_buff(self):
+        assert gate_output_probability(GateType.NOT, [0.2]) == pytest.approx(0.8)
+        assert gate_output_probability(GateType.BUFF, [0.2]) == pytest.approx(0.2)
+
+    def test_mux_mixture(self):
+        assert gate_output_probability(GateType.MUX, [0.2, 0.8, 0.5]) == pytest.approx(0.5)
+        assert gate_output_probability(GateType.MUX, [0.2, 0.8, 0.0]) == pytest.approx(0.2)
+
+    def test_ties(self):
+        assert gate_output_probability(GateType.TIE0, []) == 0.0
+        assert gate_output_probability(GateType.TIE1, []) == 1.0
+
+    def test_clamping(self):
+        # Values may drift past [0,1] by epsilon in long chains; must clamp.
+        assert 0.0 <= gate_output_probability(GateType.AND, [1.0000000001, 1.0]) <= 1.0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            gate_output_probability(GateType.INPUT, [])
+
+
+class TestPropagation:
+    def test_c17_hand_computed(self, c17_circuit):
+        probs = signal_probabilities(c17_circuit)
+        assert probs["N1"] == 0.5
+        assert probs["N10"] == 0.75  # NAND(0.5, 0.5)
+        assert probs["N11"] == 0.75
+        assert probs["N16"] == pytest.approx(1 - 0.5 * 0.75)  # NAND(N2, N11)
+        assert probs["N22"] == pytest.approx(1 - 0.75 * probs["N16"])
+
+    def test_pi_override(self, c17_circuit):
+        probs = signal_probabilities(c17_circuit, {"N1": 1.0, "N3": 1.0})
+        assert probs["N10"] == 0.0
+
+    def test_exact_on_tree_circuit(self, rng):
+        # Fanout-free circuit: analytic result must equal exhaustive truth.
+        c = Circuit("tree")
+        for i in range(6):
+            c.add_input(f"i{i}")
+        c.add_gate("a", GateType.AND, ("i0", "i1"))
+        c.add_gate("b", GateType.OR, ("i2", "i3"))
+        c.add_gate("x", GateType.XOR, ("i4", "i5"))
+        c.add_gate("m", GateType.NAND, ("a", "b"))
+        c.add_gate("out", GateType.XNOR, ("m", "x"))
+        c.set_output("out")
+        probs = signal_probabilities(c)
+        from repro.sim import exhaustive_patterns, BitSimulator
+
+        values = BitSimulator(c).run_full(exhaustive_patterns(6))
+        for net, p in probs.items():
+            assert p == pytest.approx(values[net].mean()), net
+
+    def test_dff_fixed_point(self):
+        c = Circuit("seq")
+        c.add_input("clk")
+        c.add_input("d")
+        c.add_gate("q", GateType.DFF, ("mix", "clk"))
+        c.add_gate("mix", GateType.XOR, ("d", "q"))
+        c.set_output("q")
+        probs = signal_probabilities(c)
+        # XOR with an 0.5 input pins the fixed point at 0.5.
+        assert probs["q"] == pytest.approx(0.5)
+
+    def test_node_probability_records(self, c17_circuit):
+        nodes = node_probabilities(c17_circuit)
+        n10 = nodes["N10"]
+        assert n10.p_zero == pytest.approx(0.25)
+        assert n10.extremity() == pytest.approx(0.75)
+
+
+class TestRareNodes:
+    def test_detects_engineered_rare_node(self, rare_node_circuit):
+        rare = rare_nodes(rare_node_circuit, 0.99)
+        names = [net for net, _ in rare]
+        assert "rare" in names  # P(=1) = 2^-8
+
+    def test_threshold_bounds(self, rare_node_circuit):
+        with pytest.raises(ValueError):
+            rare_nodes(rare_node_circuit, 0.4)
+        with pytest.raises(ValueError):
+            rare_nodes(rare_node_circuit, 1.01)
+
+    def test_sorted_most_extreme_first(self, rare_node_circuit):
+        rare = rare_nodes(rare_node_circuit, 0.9)
+        extremities = [max(p, 1 - p) for _, p in rare]
+        assert extremities == sorted(extremities, reverse=True)
+
+    def test_inputs_excluded_by_default(self, rare_node_circuit):
+        rare = rare_nodes(rare_node_circuit, 0.9, pi_probabilities={"b": 0.999})
+        assert all(net != "b" for net, _ in rare)
+
+    def test_constants_never_candidates(self, tiny_and_circuit):
+        tiny_and_circuit.add_gate("one", GateType.TIE1, ())
+        tiny_and_circuit.set_output("one")
+        rare = rare_nodes(tiny_and_circuit, 0.9)
+        assert all(net != "one" for net, _ in rare)
+
+
+class TestActivity:
+    def test_transition_probability_peak_at_half(self):
+        assert transition_probability(0.5) == 0.5
+        assert transition_probability(0.0) == 0.0
+        assert transition_probability(1.0) == 0.0
+        assert transition_probability(0.1) == pytest.approx(0.18)
+
+    def test_activity_of_c17(self, c17_circuit):
+        act = switching_activity(c17_circuit)
+        assert act["N1"] == 0.5
+        assert act["N10"] == pytest.approx(2 * 0.75 * 0.25)
+
+    def test_constant_nets_never_switch(self, tiny_and_circuit):
+        tiny_and_circuit.add_gate("one", GateType.TIE1, ())
+        tiny_and_circuit.set_output("one")
+        act = switching_activity(tiny_and_circuit)
+        assert act["one"] == 0.0
+
+    def test_ripple_counter_activity_halves(self):
+        c = Circuit("ripple")
+        c.add_input("clk")
+        clock = "clk"
+        for k in range(3):
+            c.add_gate(f"q{k}", GateType.DFF, (f"qn{k}", clock))
+            c.add_gate(f"qn{k}", GateType.NOT, (f"q{k}",))
+            clock = f"qn{k}"
+        c.set_output("q2")
+        act = switching_activity(c)
+        assert act["q0"] == pytest.approx(0.5 * act["clk"])
+        assert act["q1"] == pytest.approx(0.5 * act["qn0"])
+        assert act["q1"] < act["q0"]
+
+
+class TestMonteCarlo:
+    def test_mc_matches_analytic_on_tree(self, rng):
+        c = Circuit("tree")
+        for i in range(4):
+            c.add_input(f"i{i}")
+        c.add_gate("a", GateType.AND, ("i0", "i1"))
+        c.add_gate("o", GateType.OR, ("i2", "i3"))
+        c.add_gate("out", GateType.XOR, ("a", "o"))
+        c.set_output("out")
+        analytic = signal_probabilities(c)
+        estimates = mc_signal_probabilities(c, n_samples=8192, rng=rng)
+        for net, est in estimates.items():
+            # 2x the 95% half-width: a tolerance, not a flaky 1-in-20 gate.
+            assert abs(est.value - analytic[net]) <= 2 * est.half_width, net
+
+    def test_estimate_interval(self):
+        est = Estimate(0.5, 0.05, 1000)
+        lo, hi = est.interval()
+        assert lo == pytest.approx(0.45)
+        assert hi == pytest.approx(0.55)
+        assert est.contains(0.52)
+        assert not est.contains(0.6)
+
+    def test_toggle_rates_near_analytic(self, c17_circuit, rng):
+        rates = mc_toggle_rates(c17_circuit, n_vectors=8192, rng=rng)
+        analytic = switching_activity(c17_circuit)
+        for net in ("N1", "N10", "N22"):
+            assert abs(rates[net].value - analytic[net]) < 0.03
+
+    def test_toggle_rates_sequential(self, rng):
+        c = Circuit("tff")
+        c.add_input("clk")
+        c.add_gate("q", GateType.DFF, ("qn", "clk"))
+        c.add_gate("qn", GateType.NOT, ("q",))
+        c.set_output("q")
+        rates = mc_toggle_rates(c, n_vectors=2048, rng=rng)
+        # Toggle FF flips on each rising edge: about a quarter of steps.
+        assert 0.15 < rates["q"].value < 0.35

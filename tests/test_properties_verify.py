@@ -1,0 +1,111 @@
+"""Property-based tests for the verification and timing layers."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.power import static_timing, tech65_library
+from repro.sim import BitSimulator, exhaustive_patterns
+from repro.verify import Cnf, SatStatus, solve, tseitin_encode
+
+from tests.test_properties import random_circuits
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_cnf(draw, max_vars=12, max_clauses=40):
+    """Random 3-SAT-ish formula plus its brute-force satisfiability."""
+    n_vars = draw(st.integers(min_value=1, max_value=max_vars))
+    n_clauses = draw(st.integers(min_value=1, max_value=max_clauses))
+    cnf = Cnf()
+    vs = [cnf.new_var() for _ in range(n_vars)]
+    for _ in range(n_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        lits = []
+        for _ in range(width):
+            v = vs[draw(st.integers(0, n_vars - 1))]
+            sign = draw(st.sampled_from([1, -1]))
+            lits.append(sign * v)
+        cnf.add(*lits)
+    return cnf
+
+
+def _brute_force_sat(cnf: Cnf) -> bool:
+    for bits in itertools.product((False, True), repeat=cnf.n_vars):
+        model = {v: bits[v - 1] for v in range(1, cnf.n_vars + 1)}
+        if all(any(model[abs(l)] == (l > 0) for l in c) for c in cnf.clauses):
+            return True
+    return False
+
+
+class TestSolverProperties:
+    @_SETTINGS
+    @given(random_cnf())
+    def test_solver_agrees_with_brute_force(self, cnf):
+        result = solve(cnf, max_decisions=100_000)
+        assert result.status is not SatStatus.UNKNOWN
+        assert result.satisfiable == _brute_force_sat(cnf)
+
+    @_SETTINGS
+    @given(random_cnf())
+    def test_model_satisfies_every_clause(self, cnf):
+        result = solve(cnf, max_decisions=100_000)
+        if result.satisfiable:
+            for clause in cnf.clauses:
+                assert any(result.model[abs(l)] == (l > 0) for l in clause)
+
+
+class TestTseitinProperties:
+    @_SETTINGS
+    @given(random_circuits(max_gates=8))
+    def test_encoding_consistent_with_simulation(self, circuit):
+        """For every PI assignment of a small random circuit, the CNF under
+        those assumptions is SAT with the simulated output values."""
+        if len(circuit.inputs) > 6:
+            return
+        cnf, var = tseitin_encode(circuit)
+        sim = BitSimulator(circuit)
+        pats = exhaustive_patterns(len(circuit.inputs))
+        outs = sim.run(pats)
+        for row, out_row in zip(pats[:8], outs[:8]):  # a slice keeps it fast
+            assumptions = [
+                var[pi] if row[k] else -var[pi]
+                for k, pi in enumerate(circuit.inputs)
+            ]
+            result = solve(cnf, assumptions=assumptions, max_decisions=50_000)
+            assert result.satisfiable
+            for o, expected in zip(circuit.outputs, out_row):
+                assert result.model[var[o]] == bool(expected)
+
+
+class TestTimingProperties:
+    @_SETTINGS
+    @given(random_circuits(max_gates=15))
+    def test_arrival_monotone_along_edges(self, circuit):
+        library = tech65_library()
+        report = static_timing(circuit, library)
+        for gate in circuit.logic_gates():
+            if gate.is_constant or gate.is_sequential:
+                continue
+            for src in gate.inputs:
+                assert report.arrival_ps[gate.name] >= report.arrival_ps[src]
+
+    @_SETTINGS
+    @given(random_circuits(max_gates=15))
+    def test_critical_path_consistency(self, circuit):
+        library = tech65_library()
+        report = static_timing(circuit, library)
+        assert report.critical_delay_ps >= 0
+        if report.critical_path:
+            assert report.critical_path[-1] in circuit.outputs
+            assert report.critical_delay_ps == pytest.approx(
+                max(report.output_arrival_ps.values())
+            )

@@ -1,0 +1,137 @@
+"""Unit tests for bit-parallel combinational simulation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.netlist import Circuit, GateType, NetlistError
+from repro.sim import (
+    BitSimulator,
+    exhaustive_patterns,
+    pack_patterns,
+    random_patterns,
+    simulate,
+    unpack_patterns,
+)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("n_patterns", [1, 63, 64, 65, 130])
+    def test_roundtrip(self, n_patterns, rng):
+        pats = (rng.random((n_patterns, 5)) < 0.5).astype(np.uint8)
+        assert (unpack_patterns(pack_patterns(pats), n_patterns) == pats).all()
+
+    def test_bit_layout(self):
+        pats = np.zeros((70, 1), dtype=np.uint8)
+        pats[3, 0] = 1
+        pats[64, 0] = 1
+        packed = pack_patterns(pats)
+        assert packed.shape == (1, 2)
+        assert packed[0, 0] == np.uint64(1 << 3)
+        assert packed[0, 1] == np.uint64(1)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pack_patterns(np.zeros(5))
+
+
+class TestExhaustivePatterns:
+    def test_count_and_uniqueness(self):
+        pats = exhaustive_patterns(4)
+        assert pats.shape == (16, 4)
+        as_ints = {int(sum(b << i for i, b in enumerate(row))) for row in pats}
+        assert as_ints == set(range(16))
+
+    def test_refuses_huge_spaces(self):
+        with pytest.raises(ValueError):
+            exhaustive_patterns(30)
+
+
+class TestSimulation:
+    def test_c17_against_scalar_evaluation(self, c17_circuit):
+        pats = exhaustive_patterns(5)
+        fast = simulate(c17_circuit, pats)
+        # Scalar reference: evaluate gate by gate with Python ints.
+        order = c17_circuit.topological_order()
+        for row, out_row in zip(pats, fast):
+            values = {}
+            for i, pi in enumerate(c17_circuit.inputs):
+                values[pi] = int(row[i])
+            for net in order:
+                gate = c17_circuit.gate(net)
+                if gate.is_input:
+                    continue
+                values[net] = gate.evaluate([values[s] for s in gate.inputs])
+            expected = [values[o] for o in c17_circuit.outputs]
+            assert list(out_row) == expected
+
+    def test_all_gate_types(self):
+        c = Circuit("alltypes")
+        a, b2 = c.add_input("a"), c.add_input("b")
+        c.add_gate("t0", GateType.TIE0, ())
+        c.add_gate("t1", GateType.TIE1, ())
+        c.add_gate("g_and", GateType.AND, ("a", "b"))
+        c.add_gate("g_nand", GateType.NAND, ("a", "b"))
+        c.add_gate("g_or", GateType.OR, ("a", "b"))
+        c.add_gate("g_nor", GateType.NOR, ("a", "b"))
+        c.add_gate("g_xor", GateType.XOR, ("a", "b"))
+        c.add_gate("g_xnor", GateType.XNOR, ("a", "b"))
+        c.add_gate("g_not", GateType.NOT, ("a",))
+        c.add_gate("g_buf", GateType.BUFF, ("a",))
+        c.add_gate("g_mux", GateType.MUX, ("a", "b", "t1"))
+        for net in list(c.nets):
+            if not c.gate(net).is_input:
+                c.set_output(net)
+        out = simulate(c, exhaustive_patterns(2))
+        col = {name: i for i, name in enumerate(c.outputs)}
+        for row, res in zip(exhaustive_patterns(2), out):
+            a_v, b_v = int(row[0]), int(row[1])
+            assert res[col["g_and"]] == (a_v & b_v)
+            assert res[col["g_nand"]] == 1 - (a_v & b_v)
+            assert res[col["g_or"]] == (a_v | b_v)
+            assert res[col["g_nor"]] == 1 - (a_v | b_v)
+            assert res[col["g_xor"]] == (a_v ^ b_v)
+            assert res[col["g_xnor"]] == 1 - (a_v ^ b_v)
+            assert res[col["g_not"]] == 1 - a_v
+            assert res[col["g_buf"]] == a_v
+            assert res[col["g_mux"]] == b_v  # select tied to 1
+            assert res[col["t0"]] == 0
+            assert res[col["t1"]] == 1
+
+    def test_wrong_input_count_rejected(self, c17_circuit):
+        with pytest.raises(ValueError):
+            simulate(c17_circuit, np.zeros((4, 3), dtype=np.uint8))
+
+    def test_sequential_circuit_rejected(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("d")
+        c.add_gate("q", GateType.DFF, ("d", "clk"))
+        c.set_output("q")
+        with pytest.raises(NetlistError):
+            BitSimulator(c)
+
+    def test_run_full_returns_every_net(self, c17_circuit):
+        values = BitSimulator(c17_circuit).run_full(exhaustive_patterns(5))
+        assert set(values) == set(c17_circuit.nets)
+        assert values["N1"].shape == (32,)
+
+    def test_large_pattern_blocks_cross_word_boundary(self, c17_circuit, rng):
+        pats = (rng.random((200, 5)) < 0.5).astype(np.uint8)
+        out_all = simulate(c17_circuit, pats)
+        out_split = np.concatenate(
+            [simulate(c17_circuit, pats[:100]), simulate(c17_circuit, pats[100:])]
+        )
+        assert (out_all == out_split).all()
+
+
+class TestRandomPatterns:
+    def test_shape_and_values(self, rng):
+        pats = random_patterns(100, 7, rng)
+        assert pats.shape == (100, 7)
+        assert set(np.unique(pats)) <= {0, 1}
+
+    def test_bias(self, rng):
+        pats = random_patterns(4000, 3, rng, p_one=0.9)
+        assert pats.mean() > 0.85

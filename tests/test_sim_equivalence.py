@@ -1,0 +1,93 @@
+"""Unit tests for functional comparison (the ModelSim substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import GateType, tie_net_to_constant
+from repro.sim import (
+    compare_exhaustive,
+    compare_on_patterns,
+    compare_sequential_on_patterns,
+    exhaustive_patterns,
+    functional_test,
+)
+from repro.trojan import insert_counter_trojan
+
+
+class TestCompareOnPatterns:
+    def test_identical_circuits_match(self, c17_circuit):
+        result = compare_exhaustive(c17_circuit, c17_circuit.copy())
+        assert result.equivalent
+        assert result.mismatches == 0
+        assert bool(result)
+
+    def test_detects_difference_and_witnesses(self, c17_circuit):
+        broken = c17_circuit.copy("broken")
+        tie_net_to_constant(broken, "N22", 0)
+        result = compare_exhaustive(c17_circuit, broken)
+        assert not result.equivalent
+        assert result.mismatches > 0
+        assert all(name == "N22" for _, name in result.witnesses)
+
+    def test_rare_difference_not_seen_on_miss_patterns(self, rare_node_circuit):
+        modified = rare_node_circuit.copy("mod")
+        tie_net_to_constant(modified, "rare", 0)
+        # Patterns that never drive all of a0..a7 high cannot tell the two apart.
+        pats = exhaustive_patterns(9)
+        missing_rare = pats[~(pats[:, :8].all(axis=1))]
+        assert compare_on_patterns(rare_node_circuit, modified, missing_rare).equivalent
+        # But the full space distinguishes them.
+        assert not compare_exhaustive(rare_node_circuit, modified).equivalent
+
+    def test_interface_mismatch_rejected(self, c17_circuit, tiny_and_circuit):
+        with pytest.raises(ValueError):
+            compare_on_patterns(c17_circuit, tiny_and_circuit, exhaustive_patterns(5))
+
+    def test_output_order_insensitive(self, c17_circuit):
+        shuffled = c17_circuit.copy("shuffled")
+        shuffled.unset_output("N22")
+        shuffled.unset_output("N23")
+        shuffled.set_output("N23")
+        shuffled.set_output("N22")
+        assert compare_exhaustive(c17_circuit, shuffled).equivalent
+
+
+class TestSequentialComparison:
+    def test_untriggered_trojan_passes(self, c17_circuit, rng):
+        golden = c17_circuit.copy("golden")
+        infected = c17_circuit.copy("infected")
+        # 4-bit counter on a NAND output: needs 15 rising edges to fire.
+        insert_counter_trojan(infected, "N22", "N10", n_bits=4)
+        pats = (rng.random((10, 5)) < 0.5).astype(np.uint8)
+        result = compare_sequential_on_patterns(golden, infected, pats)
+        assert result.equivalent
+
+    def test_triggered_trojan_fails(self, c17_circuit):
+        golden = c17_circuit.copy("golden")
+        infected = c17_circuit.copy("infected")
+        insert_counter_trojan(infected, "N22", "N10", n_bits=1)
+        # Force rising edges on N10 = NAND(N1, N3): alternate (1,1) -> (0,0).
+        steps = []
+        for _ in range(4):
+            steps.append([1, 1, 1, 1, 1])
+            steps.append([0, 0, 0, 0, 0])
+        pats = np.array(steps, dtype=np.uint8)
+        result = compare_sequential_on_patterns(golden, infected, pats)
+        assert not result.equivalent
+
+
+class TestFunctionalTest:
+    def test_all_sets_must_pass(self, c17_circuit, rng):
+        golden = c17_circuit.copy()
+        candidate = c17_circuit.copy()
+        sets = [
+            (rng.random((16, 5)) < 0.5).astype(np.uint8),
+            exhaustive_patterns(5),
+        ]
+        assert functional_test(candidate, golden, sets)
+
+    def test_failure_in_any_set_fails(self, c17_circuit):
+        broken = c17_circuit.copy("broken")
+        tie_net_to_constant(broken, "N16", 1)
+        sets = [exhaustive_patterns(5)]
+        assert not functional_test(broken, c17_circuit, sets)

@@ -1,0 +1,135 @@
+"""Unit tests for the sequential (DFF) simulator — the counter Trojan substrate."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Circuit, GateType
+from repro.sim import SequentialSimulator
+from repro.trojan import insert_counter_trojan
+
+
+def toggle_ff_circuit():
+    """Single toggle FF clocked by primary input ``clk``; q is the output."""
+    c = Circuit("tff")
+    c.add_input("clk")
+    c.add_gate("q", GateType.DFF, ("qn", "clk"))
+    c.add_gate("qn", GateType.NOT, ("q",))
+    c.set_output("q")
+    return c
+
+
+def ripple_counter_circuit(n_bits):
+    """n-bit asynchronous up counter clocked by input ``clk``."""
+    c = Circuit(f"ripple{n_bits}")
+    c.add_input("clk")
+    clock = "clk"
+    for k in range(n_bits):
+        c.add_gate(f"q{k}", GateType.DFF, (f"qn{k}", clock))
+        c.add_gate(f"qn{k}", GateType.NOT, (f"q{k}",))
+        c.set_output(f"q{k}")
+        clock = f"qn{k}"
+    return c
+
+
+def clock_sequence(edges, idle=1):
+    """Input sequence producing ``edges`` rising edges on one input."""
+    steps = []
+    for _ in range(edges):
+        steps.extend([[0]] * idle + [[1]])
+    steps.append([0])
+    return np.array(steps, dtype=np.uint8)
+
+
+class TestToggleFF:
+    def test_toggles_once_per_rising_edge(self):
+        c = toggle_ff_circuit()
+        sim = SequentialSimulator(c)
+        seq = clock_sequence(edges=3)
+        out = sim.run_sequences(seq[np.newaxis, :, :])[0][:, 0]
+        # Value after each applied vector: edges at the '1' steps.
+        expected_toggle_count = 3
+        assert int(out[-1]) == expected_toggle_count % 2
+
+    def test_no_edge_no_toggle(self):
+        c = toggle_ff_circuit()
+        sim = SequentialSimulator(c)
+        seq = np.zeros((10, 1), dtype=np.uint8)
+        out = sim.run_sequences(seq[np.newaxis, :, :])[0][:, 0]
+        assert not out.any()
+
+    def test_held_high_clock_is_single_edge(self):
+        c = toggle_ff_circuit()
+        sim = SequentialSimulator(c)
+        seq = np.array([[0], [1], [1], [1]], dtype=np.uint8)
+        out = sim.run_sequences(seq[np.newaxis, :, :])[0][:, 0]
+        assert list(out) == [0, 1, 1, 1]
+
+
+class TestRippleCounter:
+    @pytest.mark.parametrize("n_bits", [1, 2, 3])
+    def test_counts_rising_edges(self, n_bits):
+        c = ripple_counter_circuit(n_bits)
+        sim = SequentialSimulator(c)
+        edges = 5
+        seq = clock_sequence(edges=edges)
+        out = sim.run_sequences(seq[np.newaxis, :, :])[0]
+        final = out[-1]
+        value = sum(int(final[k]) << k for k in range(n_bits))
+        assert value == edges % (1 << n_bits)
+
+    def test_wraps_at_modulus(self):
+        c = ripple_counter_circuit(2)
+        sim = SequentialSimulator(c)
+        seq = clock_sequence(edges=4)  # full wrap of a 2-bit counter
+        out = sim.run_sequences(seq[np.newaxis, :, :])[0]
+        assert not out[-1].any()
+
+    def test_parallel_sequences_are_independent(self, rng):
+        c = ripple_counter_circuit(3)
+        sim = SequentialSimulator(c)
+        seqs = (rng.random((80, 40, 1)) < 0.4).astype(np.uint8)
+        batched = sim.run_sequences(seqs)
+        for s in (0, 17, 79):
+            solo = SequentialSimulator(c).run_sequences(seqs[s : s + 1])
+            assert (solo[0] == batched[s]).all()
+
+    def test_reset_clears_state(self):
+        c = ripple_counter_circuit(2)
+        sim = SequentialSimulator(c)
+        seq = clock_sequence(edges=3)
+        first = sim.run_sequences(seq[np.newaxis, :, :])[0]
+        second = sim.run_sequences(seq[np.newaxis, :, :])[0]
+        assert (first == second).all()
+
+
+class TestCombinationalPassThrough:
+    def test_combinational_circuit_works(self, c17_circuit, rng):
+        from repro.sim import BitSimulator
+
+        pats = (rng.random((30, 5)) < 0.5).astype(np.uint8)
+        seq_out = SequentialSimulator(c17_circuit).run_sequences(pats[np.newaxis])[0]
+        comb_out = BitSimulator(c17_circuit).run(pats)
+        assert (seq_out == comb_out).all()
+
+
+class TestTrackedSimulation:
+    def test_tracking_matches_outputs(self, rng):
+        c = ripple_counter_circuit(2)
+        seq = clock_sequence(edges=3)
+        sim = SequentialSimulator(c)
+        traces = sim.run_sequence_tracking(seq, watch=["q0", "q1"])
+        out = SequentialSimulator(c).run_sequences(seq[np.newaxis])[0]
+        assert (traces["q0"] == out[:, 0]).all()
+        assert (traces["q1"] == out[:, 1]).all()
+
+    def test_trojan_trigger_trace(self, c17_circuit):
+        instance = insert_counter_trojan(c17_circuit, "N22", "N10", n_bits=2)
+        sim = SequentialSimulator(c17_circuit)
+        # Toggle N1/N3 so N10 = NAND(N1, N3) produces rising edges.
+        steps = []
+        for _ in range(6):
+            steps.append([1, 0, 1, 0, 0])  # N10 = 0
+            steps.append([0, 0, 0, 0, 0])  # N10 = 1 (rising edge)
+        seq = np.array(steps, dtype=np.uint8)
+        traces = sim.run_sequence_tracking(seq, watch=[instance.trigger_net])
+        assert traces[instance.trigger_net].any()  # 3 edges reached (2-bit: fires at 3)

@@ -1,0 +1,103 @@
+"""Tests for static timing analysis and the delay side-channel extension."""
+
+import pytest
+
+from repro.netlist import Circuit, GateType
+from repro.power import tech65_library
+from repro.power.timing import DelayDetector, static_timing
+from repro.trojan import insert_counter_trojan
+from repro.trojan.payload import splice_inverting_payload
+
+
+class TestStaticTiming:
+    def test_chain_delay_accumulates(self, library):
+        c = Circuit("chain")
+        c.add_input("a")
+        prev = "a"
+        for k in range(5):
+            c.add_gate(f"n{k}", GateType.NOT, (prev,))
+            prev = f"n{k}"
+        c.set_output(prev)
+        report = static_timing(c, library)
+        arrivals = [report.arrival_ps[f"n{k}"] for k in range(5)]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_critical_path_is_a_real_path(self, c432_circuit, library):
+        report = static_timing(c432_circuit, library)
+        path = report.critical_path
+        assert path[-1] in c432_circuit.outputs
+        assert c432_circuit.gate(path[0]).is_input or c432_circuit.gate(
+            path[0]
+        ).is_constant
+        for src, dst in zip(path, path[1:]):
+            assert src in c432_circuit.gate(dst).inputs
+
+    def test_critical_delay_is_max_output_arrival(self, c432_circuit, library):
+        report = static_timing(c432_circuit, library)
+        assert report.critical_delay_ps == pytest.approx(
+            max(report.output_arrival_ps.values())
+        )
+
+    def test_deeper_circuit_slower(self, library, c432_circuit, c880_circuit):
+        shallow = static_timing(c432_circuit, library)
+        assert shallow.critical_delay_ps > 0
+
+    def test_constants_have_zero_arrival(self, library):
+        c = Circuit("tie")
+        c.add_input("a")
+        c.add_gate("one", GateType.TIE1, ())
+        c.add_gate("out", GateType.AND, ("a", "one"))
+        c.set_output("out")
+        report = static_timing(c, library)
+        assert report.arrival_ps["one"] == 0.0
+
+    def test_fanout_load_increases_delay(self, library):
+        def chain_with_fanout(n_readers):
+            c = Circuit("f")
+            c.add_input("a")
+            c.add_input("b")
+            c.add_gate("src", GateType.AND, ("a", "b"))
+            for k in range(n_readers):
+                c.add_gate(f"r{k}", GateType.NOT, ("src",))
+                c.set_output(f"r{k}")
+            return static_timing(c, library).arrival_ps["src"]
+
+        assert chain_with_fanout(8) > chain_with_fanout(1)
+
+
+class TestDelaySideChannel:
+    def test_payload_on_critical_path_is_visible(self, c880_circuit, library):
+        """The MUX payload adds serial delay TrojanZero cannot salvage away —
+        the delay side channel the paper leaves to future detection work."""
+        golden_report = static_timing(c880_circuit, library)
+        victim = golden_report.critical_path[len(golden_report.critical_path) // 2]
+
+        infected = c880_circuit.copy("infected")
+        infected.add_input("trigger_stub")
+        splice_inverting_payload(infected, victim, "trigger_stub")
+        infected_report = static_timing(infected, library)
+        assert infected_report.critical_delay_ps > golden_report.critical_delay_ps
+
+        detector = DelayDetector()
+        detector.calibrate(golden_report, n_chips=40)
+        rate = detector.detection_rate(infected_report, n_chips=40)
+        assert rate > 0.5  # a critical-path payload is caught by delay testing
+
+    def test_off_critical_payload_may_hide_in_slack(self, c880_circuit, library):
+        golden_report = static_timing(c880_circuit, library)
+        # Choose the fastest output's driver: maximal slack.
+        fast_out = min(
+            golden_report.output_arrival_ps, key=golden_report.output_arrival_ps.get
+        )
+        detector = DelayDetector()
+        detector.calibrate(golden_report, n_chips=40)
+        # Golden chips themselves should rarely alarm.
+        assert detector.detection_rate(golden_report, n_chips=40, seed=91) < 0.2
+
+    def test_uncalibrated_rejected(self, c432_circuit, library):
+        import numpy as np
+
+        detector = DelayDetector()
+        with pytest.raises(RuntimeError):
+            detector.statistic(np.zeros(3))

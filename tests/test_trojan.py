@@ -1,0 +1,233 @@
+"""Unit tests for the Trojan designs, library, padding, and trigger analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netlist import Circuit, GateType, assert_valid
+from repro.sim import SequentialSimulator, compare_exhaustive, exhaustive_patterns
+from repro.trojan import (
+    TrojanDesign,
+    analytic_pft,
+    binomial_tail_at_least,
+    default_trojan_library,
+    insert_additive_burden,
+    insert_comb_trojan,
+    insert_counter_trojan,
+    insert_dummy_gates,
+    monte_carlo_pft,
+    rising_edge_probability,
+    trigger_report,
+)
+from repro.trojan.library import insert_filler_cells
+
+
+class TestCounterTrojan:
+    def test_structure(self, c17_circuit):
+        inst = insert_counter_trojan(c17_circuit, "N22", "N10", n_bits=3)
+        assert inst.n_bits == 3
+        assert inst.states_to_fire == 7
+        assert len(inst.state_nets) == 3
+        assert c17_circuit.is_sequential
+        assert_valid(c17_circuit)
+
+    def test_fires_after_exactly_2n_minus_1_edges(self, c17_circuit):
+        inst = insert_counter_trojan(c17_circuit, "N22", "N10", n_bits=2)
+        sim = SequentialSimulator(c17_circuit)
+        # N10 = NAND(N1, N3): (1,1) -> 0, else 1.  Produce clean edges.
+        low = [1, 0, 1, 0, 0]
+        high = [0, 0, 0, 0, 0]
+        steps = [low]
+        for _ in range(5):
+            steps.extend([high, low])
+        seq = np.array(steps, dtype=np.uint8)
+        trace = sim.run_sequence_tracking(seq, watch=[inst.trigger_net])
+        fired_at = np.nonzero(trace[inst.trigger_net])[0]
+        assert fired_at.size > 0
+        # Edges occur at steps 1,3,5,...; the 3rd edge is step 5.
+        assert fired_at[0] == 5
+
+    def test_payload_inverts_when_triggered(self, c17_circuit):
+        golden = c17_circuit.copy("golden")
+        inst = insert_counter_trojan(c17_circuit, "N23", "N10", n_bits=1)
+        sim = SequentialSimulator(c17_circuit)
+        low = [1, 0, 1, 0, 0]
+        high = [0, 0, 0, 0, 0]
+        seq = np.array([low, high, high], dtype=np.uint8)
+        out = sim.run_sequences(seq[np.newaxis])[0]
+        col = {name: i for i, name in enumerate(c17_circuit.outputs)}
+        from repro.sim import BitSimulator
+
+        golden_out = BitSimulator(golden).run(seq)
+        gcol = {name: i for i, name in enumerate(golden.outputs)}
+        # After the first rising edge (step 1) the trigger is high: N23 inverted.
+        assert out[1, col["N23"]] != golden_out[1, gcol["N23"]]
+        # Unrelated output stays correct.
+        assert out[1, col["N22"]] == golden_out[1, gcol["N22"]]
+
+    def test_interface_preserved(self, c17_circuit):
+        inputs, outputs = c17_circuit.inputs, set(c17_circuit.outputs)
+        insert_counter_trojan(c17_circuit, "N22", "N10", n_bits=2)
+        assert c17_circuit.inputs == inputs
+        assert set(c17_circuit.outputs) == outputs
+
+    def test_bad_parameters(self, c17_circuit):
+        with pytest.raises(ValueError):
+            insert_counter_trojan(c17_circuit, "N22", "N10", n_bits=0)
+        with pytest.raises(ValueError):
+            insert_counter_trojan(c17_circuit, "ghost", "N10", 2)
+        with pytest.raises(ValueError):
+            insert_counter_trojan(c17_circuit, "N22", "ghost", 2)
+
+
+class TestCombTrojan:
+    def test_trigger_polarity(self, c17_circuit):
+        golden = c17_circuit.copy()
+        inst = insert_comb_trojan(
+            c17_circuit, "N22", ["N1", "N2"], trigger_polarity=[1, 0]
+        )
+        from repro.sim import BitSimulator
+
+        pats = exhaustive_patterns(5)
+        out = BitSimulator(c17_circuit).run(pats)
+        gout = BitSimulator(golden).run(pats)
+        col = {name: i for i, name in enumerate(c17_circuit.outputs)}
+        gcol = {name: i for i, name in enumerate(golden.outputs)}
+        fired = (pats[:, 0] == 1) & (pats[:, 1] == 0)
+        diff = out[:, col["N22"]] != gout[:, gcol["N22"]]
+        assert (diff == fired).all()
+
+    def test_mismatched_polarity_length(self, c17_circuit):
+        with pytest.raises(ValueError):
+            insert_comb_trojan(c17_circuit, "N22", ["N1"], trigger_polarity=[1, 0])
+
+    def test_additive_burden_chains(self, c432_circuit):
+        added = insert_additive_burden(c432_circuit, 8)
+        assert len(added) == 8
+        assert_valid(c432_circuit)
+
+
+class TestLibraryAndPadding:
+    def test_default_library_ordered_largest_first(self):
+        designs = default_trojan_library()
+        counters = [d for d in designs if d.kind == "counter"]
+        assert [d.size for d in counters] == sorted(
+            (d.size for d in counters), reverse=True
+        )
+
+    def test_estimated_cost_monotone_in_size(self, library):
+        d2 = TrojanDesign("counter2", "counter", 2)
+        d5 = TrojanDesign("counter5", "counter", 5)
+        a2, l2 = d2.estimated_cost(library)
+        a5, l5 = d5.estimated_cost(library)
+        assert a5 > a2
+        assert l5 > l2
+
+    def test_counter_estimate_close_to_actual(self, c432_circuit, library):
+        from repro.power import analyze
+
+        design = TrojanDesign("counter3", "counter", 3)
+        before = analyze(c432_circuit, library)
+        victim = "g40_g"
+        assert c432_circuit.has_net(victim)
+        design.instantiate(c432_circuit, victim, [c432_circuit.inputs[0]])
+        after = analyze(c432_circuit, library)
+        est_area, est_leak = design.estimated_cost(library)
+        actual_area = after.area_um2 - before.area_um2
+        assert actual_area == pytest.approx(est_area, rel=0.5)
+
+    def test_instantiate_counter_and_comb(self, c17_circuit):
+        counter = TrojanDesign("counter2", "counter", 2)
+        inst = counter.instantiate(c17_circuit, "N22", ["N10"])
+        assert inst.n_bits == 2
+        comb = TrojanDesign("comb2", "comb", 2)
+        inst2 = comb.instantiate(c17_circuit, "N23", ["N11", "N16"])
+        assert inst2.trigger_inputs == ("N11", "N16")
+
+    def test_unknown_kind_rejected(self, c17_circuit):
+        with pytest.raises(ValueError):
+            TrojanDesign("weird", "quantum", 2).instantiate(c17_circuit, "N22", ["N10"])
+
+    def test_dummy_gates_have_no_fanout_and_add_power(self, c432_circuit, library):
+        from repro.power import analyze
+
+        before = analyze(c432_circuit, library)
+        added = insert_dummy_gates(c432_circuit, 5)
+        after = analyze(c432_circuit, library)
+        assert all(not c432_circuit.fanout(n) for n in added)
+        assert after.area_um2 > before.area_um2
+        assert after.dynamic_uw > before.dynamic_uw
+
+    def test_dummies_do_not_change_function(self, c17_circuit):
+        golden = c17_circuit.copy()
+        insert_dummy_gates(c17_circuit, 4)
+        assert compare_exhaustive(golden, c17_circuit).equivalent
+
+    def test_filler_cells_add_area_but_no_dynamic(self, c432_circuit, library):
+        from repro.power import analyze
+
+        before = analyze(c432_circuit, library)
+        insert_filler_cells(c432_circuit, 6)
+        after = analyze(c432_circuit, library)
+        assert after.area_um2 > before.area_um2
+        assert after.dynamic_uw == pytest.approx(before.dynamic_uw)
+        assert after.leakage_uw > before.leakage_uw
+
+
+class TestTriggerMath:
+    def test_binomial_tail_exact_small_cases(self):
+        # P[Bin(2, 0.5) >= 1] = 0.75
+        assert binomial_tail_at_least(2, 0.5, 1) == pytest.approx(0.75)
+        # P[Bin(3, 0.5) >= 3] = 0.125
+        assert binomial_tail_at_least(3, 0.5, 3) == pytest.approx(0.125)
+
+    def test_binomial_tail_edges(self):
+        assert binomial_tail_at_least(10, 0.3, 0) == 1.0
+        assert binomial_tail_at_least(10, 0.0, 1) == 0.0
+        assert binomial_tail_at_least(10, 1.0, 10) == 1.0
+        assert binomial_tail_at_least(10, 1.0, 11) == 0.0
+
+    def test_tail_decreases_with_k(self):
+        values = [binomial_tail_at_least(100, 0.01, k) for k in (1, 3, 7, 15)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rising_edge_probability(self, c17_circuit):
+        # N10: P(=1) = 0.75 -> edge probability 0.1875.
+        assert rising_edge_probability(c17_circuit, "N10") == pytest.approx(0.1875)
+
+    def test_analytic_vs_monte_carlo(self, c17_circuit, rng):
+        inst = insert_counter_trojan(c17_circuit, "N22", "N10", n_bits=2)
+        analytic = analytic_pft(c17_circuit, inst, n_test_vectors=12)
+        mc = monte_carlo_pft(c17_circuit, inst, 12, n_sessions=400, rng=rng)
+        # The analytic model assumes temporal independence; agreement within
+        # a generous band is what we can demand.
+        assert abs(analytic - mc) < 0.25
+        assert analytic > 0.1  # N10 edges are common: trigger likely fires
+
+    def test_trigger_report_fields(self, c17_circuit):
+        inst = insert_counter_trojan(c17_circuit, "N22", "N10", n_bits=3)
+        rep = trigger_report(c17_circuit, inst, n_test_vectors=50)
+        assert rep.counter_bits == 3
+        assert rep.edges_to_fire == 7
+        assert 0 <= rep.pft_analytic <= 1
+        assert rep.pft_monte_carlo is None
+
+    def test_pu_equation(self):
+        from repro.atpg import untargeted_trigger_probability
+
+        assert untargeted_trigger_probability(4, 5) == pytest.approx(4 / 32)
+        assert untargeted_trigger_probability(0, 10) == 0.0
+        with pytest.raises(ValueError):
+            untargeted_trigger_probability(100, 2)
+
+    def test_count_distinguishing_vectors(self, rare_node_circuit):
+        from repro.atpg import count_distinguishing_vectors
+        from repro.netlist import tie_net_to_constant
+
+        modified = rare_node_circuit.copy("mod")
+        tie_net_to_constant(modified, "rare", 0)
+        nu = count_distinguishing_vectors(rare_node_circuit, modified)
+        # rare = AND(a0..a7) = 1 on exactly 2 vectors of 2^9 (b free), but the
+        # difference reaches output y only when b = 0: exactly 1 vector.
+        assert nu == 1
