@@ -1,0 +1,146 @@
+"""Simulation-core perf harness: records throughput into ``BENCH_perf.json``.
+
+Measures the compiled levelized engine against the retained per-gate
+reference implementations on ISCAS-scale circuits:
+
+* **bitsim** — one bit-parallel pass over ``N_PATTERNS`` random vectors;
+  throughput is reported in pattern-gate evaluations per second.
+* **faultsim** — coverage-style run (``drop_detected=False``) of a sampled
+  stuck-at fault list against the same vectors.
+
+Results (before/after wall time, throughput, speedup) are written to
+``BENCH_perf.json`` at the repo root so the perf trajectory is tracked in
+version control.  The assertions below are deliberately *generous* floors —
+they exist to fail loudly on order-of-magnitude regressions (e.g. the engine
+silently falling back to a per-gate path), not to pin exact machine speeds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.atpg import full_fault_list
+from repro.atpg.faultsim import FaultSimulator, reference_fault_sim
+from repro.bench import c17, c499_like, c880_like, c1908_like, c3540_like
+from repro.bench.iscas_extra import c6288_like
+from repro.sim.bitsim import (
+    BitSimulator,
+    pack_patterns,
+    reference_run_packed,
+    unpack_patterns,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_OUT_PATH = _REPO_ROOT / "BENCH_perf.json"
+
+N_PATTERNS = 4096
+FAULT_SAMPLE = 96
+BITSIM_REPEATS = 3
+
+CIRCUITS = {
+    "c17": c17,
+    "c499": c499_like,
+    "c880": c880_like,
+    "c1908": c1908_like,
+    "c3540": c3540_like,
+    "c6288": c6288_like,
+}
+
+#: Loud-regression floors (well below the typically observed speedups).
+MIN_CIRCUITS_BITSIM_2X = 3
+MIN_CIRCUITS_FAULTSIM_8X = 3
+
+
+def _best_of(fn, repeats: int) -> float:
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _bench_circuit(name, build, rng):
+    circuit = build()
+    n_gates = circuit.num_logic_gates
+    patterns = (rng.random((N_PATTERNS, len(circuit.inputs))) < 0.5).astype(np.uint8)
+
+    # --- bit-parallel simulation -------------------------------------
+    sim = BitSimulator(circuit)
+    sim.run(patterns)  # warm the compiled schedule
+    t_after = _best_of(lambda: sim.run(patterns), BITSIM_REPEATS)
+
+    packed = pack_patterns(patterns)
+    packed_inputs = {pi: packed[i] for i, pi in enumerate(circuit.inputs)}
+
+    def reference_pass():
+        values = reference_run_packed(circuit, packed_inputs)
+        out = np.stack([values[o] for o in circuit.outputs])
+        unpack_patterns(out, N_PATTERNS)
+
+    t_before = _best_of(reference_pass, BITSIM_REPEATS)
+
+    # --- fault simulation (coverage workload) ------------------------
+    faults = full_fault_list(circuit)
+    if len(faults) > FAULT_SAMPLE:
+        chosen = rng.choice(len(faults), FAULT_SAMPLE, replace=False)
+        faults = [faults[i] for i in chosen]
+    fsim = FaultSimulator(circuit)
+    fsim.run(patterns, faults, drop_detected=False)  # warm the cone schedules
+    tf_after = _timed(lambda: fsim.run(patterns, faults, drop_detected=False))
+    tf_before = _timed(
+        lambda: reference_fault_sim(circuit, patterns, faults, drop_detected=False)
+    )
+
+    evals = N_PATTERNS * n_gates
+    return {
+        "gates": n_gates,
+        "n_patterns": N_PATTERNS,
+        "bitsim": {
+            "before_s": t_before,
+            "after_s": t_after,
+            "before_pattern_gates_per_s": evals / t_before,
+            "after_pattern_gates_per_s": evals / t_after,
+            "speedup": t_before / t_after,
+        },
+        "faultsim": {
+            "n_faults": len(faults),
+            "before_s": tf_before,
+            "after_s": tf_after,
+            "before_fault_patterns_per_s": len(faults) * N_PATTERNS / tf_before,
+            "after_fault_patterns_per_s": len(faults) * N_PATTERNS / tf_after,
+            "speedup": tf_before / tf_after,
+        },
+    }
+
+
+def test_compiled_engine_throughput():
+    rng = np.random.default_rng(2026)
+    results = {name: _bench_circuit(name, build, rng) for name, build in CIRCUITS.items()}
+    report = {
+        "workload": {
+            "n_patterns": N_PATTERNS,
+            "fault_sample": FAULT_SAMPLE,
+            "faultsim_mode": "coverage (drop_detected=False)",
+            "units": "pattern-gate evaluations per second / fault-patterns per second",
+        },
+        "circuits": results,
+    }
+    _OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    iscas = {n: r for n, r in results.items() if n != "c17"}
+    bitsim_fast = [n for n, r in iscas.items() if r["bitsim"]["speedup"] >= 2.0]
+    faultsim_fast = [n for n, r in iscas.items() if r["faultsim"]["speedup"] >= 8.0]
+    assert len(bitsim_fast) >= MIN_CIRCUITS_BITSIM_2X, (
+        f"bit-parallel speedup regressed: only {bitsim_fast} of {list(iscas)} "
+        f"reached 2x (see {_OUT_PATH})"
+    )
+    assert len(faultsim_fast) >= MIN_CIRCUITS_FAULTSIM_8X, (
+        f"fault-sim speedup regressed: only {faultsim_fast} of {list(iscas)} "
+        f"reached 8x (see {_OUT_PATH})"
+    )

@@ -1,28 +1,39 @@
 """Bit-parallel single-stuck-at fault simulation with fault dropping.
 
-Patterns are packed 64 per plain Python int (arbitrary-precision ints make
-mask handling painless).  For each fault, only the fanout cone of the fault
-site is re-simulated against the cached good-circuit values, and simulation
-of a fault stops at the first detecting pattern block ("fault dropping").
+The production path runs on the compiled levelized engine of
+:mod:`repro.sim.compiled`: the good circuit is simulated once for the whole
+pattern set as a ``(n_nets, n_words)`` uint64 matrix, and each fault is
+injected by forcing its row to the stuck value and re-evaluating only the
+precomputed fanout-cone sub-schedule.  Detection is the OR over the cone's
+primary-output rows of ``faulty XOR good``, so all patterns are judged in one
+shot per fault (no per-64-pattern blocking, no Python-int bit twiddling).
 
 This powers (a) the ATPG outer loop (drop every fault a fresh PODEM vector
 detects), (b) coverage reporting, and (c) the reproduction's analysis of
 *which* stuck-at faults the defender's TP set leaves uncovered — the holes
 TrojanZero's removals hide in.
+
+The pre-compiled implementation (64 patterns per arbitrary-precision Python
+int, one block at a time) is retained as :func:`reference_fault_sim` for
+differential testing and before/after benchmarking.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gate import GateType
+from ..sim.bitsim import pack_patterns, tail_mask
+from ..sim.compiled import CompiledCircuit, compile_circuit
 from .fault import StuckAtFault
 
 _WORD = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_FULL_MASK = (1 << _WORD) - 1
 
 
 def _blocks(patterns: np.ndarray, inputs: Sequence[str]) -> Iterable[Tuple[Dict[str, int], int, int]]:
@@ -31,14 +42,8 @@ def _blocks(patterns: np.ndarray, inputs: Sequence[str]) -> Iterable[Tuple[Dict[
     n = patterns.shape[0]
     for start in range(0, n, _WORD):
         chunk = patterns[start : start + _WORD]
-        words: Dict[str, int] = {}
-        for col, pi in enumerate(inputs):
-            word = 0
-            column = chunk[:, col]
-            for k in range(chunk.shape[0]):
-                if column[k]:
-                    word |= 1 << k
-            words[pi] = word
+        packed = pack_patterns(chunk)  # (n_inputs, 1) — vectorized, no bit loop
+        words = {pi: int(packed[col, 0]) for col, pi in enumerate(inputs)}
         yield words, chunk.shape[0], start
 
 
@@ -83,65 +88,102 @@ class FaultSimResult:
 
 
 class FaultSimulator:
-    """Cone-restricted, 64-way packed stuck-at fault simulator."""
+    """Cone-restricted, matrix-based stuck-at fault simulator."""
 
     def __init__(self, circuit: Circuit) -> None:
         if circuit.is_sequential:
             raise NetlistError("fault simulation supports combinational circuits only")
         self.circuit = circuit
-        self._order = circuit.topological_order()
-        self._order_index = {net: i for i, net in enumerate(self._order)}
-        self._outputs = set(circuit.outputs)
-        self._cone_cache: Dict[str, List[str]] = {}
+        self._compiled: CompiledCircuit = compile_circuit(circuit)
 
-    def _cone(self, net: str) -> List[str]:
-        """Fanout cone of ``net`` in topological order (excluding ``net``)."""
-        cached = self._cone_cache.get(net)
-        if cached is None:
-            cone = self.circuit.fanout_cone(net)
-            cone.discard(net)
-            cached = sorted(cone, key=self._order_index.__getitem__)
-            self._cone_cache[net] = cached
-        return cached
-
-    def _good_values(self, words: Dict[str, int], mask: int) -> Dict[str, int]:
-        values: Dict[str, int] = {}
-        for net in self._order:
-            gate = self.circuit.gate(net)
-            gt = gate.gate_type
-            if gt is GateType.INPUT:
-                values[net] = words[net]
-            elif gt is GateType.TIE0:
-                values[net] = 0
-            elif gt is GateType.TIE1:
-                values[net] = mask
-            else:
-                values[net] = _evaluate_packed_int(
-                    gt, [values[i] for i in gate.inputs], mask
-                )
-        return values
-
-    def _fault_detect_mask(
-        self, fault: StuckAtFault, good: Dict[str, int], mask: int
+    def _detect_mask_single_word(
+        self, site: int, stuck: int, good: List[int], mask: int
     ) -> int:
-        """Bitmask of patterns in the block that detect ``fault``."""
-        stuck_word = mask if fault.value else 0
-        if good[fault.net] == stuck_word:
+        """Python-int cone walk for one 64-pattern word (low constant factor).
+
+        For single-vector / single-block calls — the PODEM outer loop's
+        dominant shape — per-gate Python int ops beat per-group numpy
+        dispatch, so the compiled engine only computes the good values and
+        the cone row order here.
+        """
+        cc = self._compiled
+        if good[site] == stuck:
             return 0  # never excited in this block
-        faulty: Dict[str, int] = {fault.net: stuck_word}
+        faulty: Dict[int, int] = {site: stuck}
         detect = 0
-        for net in self._cone(fault.net):
-            gate = self.circuit.gate(net)
-            ins = [faulty.get(i, good[i]) for i in gate.inputs]
-            value = _evaluate_packed_int(gate.gate_type, ins, mask)
-            if value == good[net]:
+        for row in cc.cone_rows_at(site):
+            gate_type, ins = cc.node[row]
+            value = _evaluate_packed_int(
+                gate_type, [faulty.get(i, good[i]) for i in ins], mask
+            )
+            if value == good[row]:
                 continue  # effect masked at this gate for all patterns
-            faulty[net] = value
-            if net in self._outputs:
-                detect |= value ^ good[net]
-        if fault.net in self._outputs:
-            detect |= stuck_word ^ good[fault.net]
+            faulty[row] = value
+            if row in cc.po_set:
+                detect |= value ^ good[row]
+        if site in cc.po_set:
+            detect |= stuck ^ good[site]
         return detect & mask
+
+    def _run_single_word(
+        self,
+        patterns: np.ndarray,
+        faults: List[StuckAtFault],
+        result: FaultSimResult,
+    ) -> FaultSimResult:
+        n_patterns = patterns.shape[0]
+        matrix = self._compiled.simulate_packed(pack_patterns(patterns))
+        mask = (1 << n_patterns) - 1
+        # Inverting gates set the pad bits past n_patterns in the compiled
+        # matrix; mask them off so the == early-exits below stay exact.
+        good: List[int] = (matrix[:, 0] & np.uint64(mask)).tolist()
+        for fault in faults:
+            site = self._compiled.index[fault.net]
+            detect = self._detect_mask_single_word(
+                site, mask if fault.value else 0, good, mask
+            )
+            if detect:
+                result.detected[fault] = (detect & -detect).bit_length() - 1
+        result.undetected = [f for f in faults if f not in result.detected]
+        return result
+
+    def _first_detection(
+        self,
+        fault: StuckAtFault,
+        good: np.ndarray,
+        scratch: np.ndarray,
+        masks: np.ndarray,
+    ) -> Optional[int]:
+        """Index of the first pattern detecting ``fault``, or ``None``.
+
+        ``scratch`` is a working copy of ``good``; it is restored to the good
+        values (cone rows only) before returning.
+        """
+        cc = self._compiled
+        site = cc.index[fault.net]
+        stuck = _ALL_ONES if fault.value else np.uint64(0)
+        excite = (good[site] ^ stuck) & masks
+        if not excite.any():
+            return None  # never excited by any pattern
+        cone = cc.cone_schedule(fault.net)
+        detect = np.zeros(good.shape[1], dtype=np.uint64)
+        if cone.po_rows.size:
+            scratch[site] = stuck
+            cc.run_cone(cone, scratch)
+            detect = np.bitwise_or.reduce(
+                scratch[cone.po_rows] ^ good[cone.po_rows], axis=0
+            )
+            scratch[cone.rows] = good[cone.rows]
+            scratch[site] = good[site]
+        if cone.site_is_output:
+            detect = detect | excite
+        detect &= masks
+        nonzero = np.flatnonzero(detect)
+        if nonzero.size == 0:
+            return None
+        word = int(nonzero[0])
+        bits = int(detect[word])
+        return word * _WORD + ((bits & -bits).bit_length() - 1)
 
     def run(
         self,
@@ -149,27 +191,46 @@ class FaultSimulator:
         faults: Iterable[StuckAtFault],
         drop_detected: bool = True,
     ) -> FaultSimResult:
-        """Simulate ``faults`` against ``patterns`` (rows of 0/1)."""
+        """Simulate ``faults`` against ``patterns`` (rows of 0/1).
+
+        ``drop_detected`` is kept for API compatibility; the matrix engine
+        judges every fault against the whole pattern set in one pass, so the
+        reported detection index is always the *first* detecting pattern.
+        """
         remaining: List[StuckAtFault] = list(faults)
         result = FaultSimResult()
         patterns = np.atleast_2d(np.asarray(patterns))
-        result.patterns_applied = patterns.shape[0]
-        for words, n_in_block, start in _blocks(patterns, self.circuit.inputs):
-            if not remaining:
-                break
-            mask = (1 << n_in_block) - 1
-            good = self._good_values(words, mask)
-            still: List[StuckAtFault] = []
+        n_patterns = patterns.shape[0]
+        result.patterns_applied = n_patterns
+        if n_patterns == 0 or not remaining:
+            result.undetected = list(remaining)
+            return result
+        if n_patterns <= _WORD:
+            return self._run_single_word(patterns, remaining, result)
+        good = self._compiled.simulate_packed(pack_patterns(patterns))
+        masks = tail_mask(n_patterns)
+        if drop_detected:
+            # Pre-drop pass: most faults fall to the first 64 patterns, and the
+            # Python-int cone walk on one word is far cheaper than a
+            # whole-matrix cone evaluation.  Survivors pay the matrix cost.
+            first_col: List[int] = good[:, 0].tolist()
+            survivors: List[StuckAtFault] = []
             for fault in remaining:
-                detect = self._fault_detect_mask(fault, good, mask)
+                site = self._compiled.index[fault.net]
+                detect = self._detect_mask_single_word(
+                    site, _FULL_MASK if fault.value else 0, first_col, _FULL_MASK
+                )
                 if detect:
-                    first = (detect & -detect).bit_length() - 1
-                    result.detected[fault] = start + first
-                    if not drop_detected:
-                        still.append(fault)
+                    result.detected[fault] = (detect & -detect).bit_length() - 1
                 else:
-                    still.append(fault)
-            remaining = still
+                    survivors.append(fault)
+            remaining = survivors
+        if remaining:
+            scratch = good.copy()
+            for fault in remaining:
+                first = self._first_detection(fault, good, scratch, masks)
+                if first is not None:
+                    result.detected[fault] = first
         result.undetected = [f for f in remaining if f not in result.detected]
         return result
 
@@ -184,3 +245,103 @@ def fault_coverage(
 ) -> float:
     """Fraction of ``faults`` detected by ``patterns``."""
     return FaultSimulator(circuit).run(patterns, faults).coverage
+
+
+# ----------------------------------------------------------------------
+# reference implementation (pre-compiled engine) for differential testing
+# ----------------------------------------------------------------------
+def _reference_good_values(
+    circuit: Circuit, order: List[str], words: Dict[str, int], mask: int
+) -> Dict[str, int]:
+    values: Dict[str, int] = {}
+    for net in order:
+        gate = circuit.gate(net)
+        gt = gate.gate_type
+        if gt is GateType.INPUT:
+            values[net] = words[net]
+        elif gt is GateType.TIE0:
+            values[net] = 0
+        elif gt is GateType.TIE1:
+            values[net] = mask
+        else:
+            values[net] = _evaluate_packed_int(
+                gt, [values[i] for i in gate.inputs], mask
+            )
+    return values
+
+
+def reference_fault_sim(
+    circuit: Circuit,
+    patterns: np.ndarray,
+    faults: Iterable[StuckAtFault],
+    drop_detected: bool = True,
+) -> FaultSimResult:
+    """The pre-compiled block/Python-int fault simulator, kept as an oracle.
+
+    Processes 64 patterns at a time as arbitrary-precision ints and walks the
+    fanout cone one gate per Python iteration.  Differential tests pin the
+    compiled :class:`FaultSimulator` against it; benchmarks use it as the
+    "before" measurement.
+
+    One deliberate deviation from the historical implementation: with
+    ``drop_detected=False`` the original overwrote a fault's detection index
+    on every detecting block (so it reported the first index within the
+    *last* detecting block).  Both this oracle (via ``setdefault``) and the
+    compiled engine report the globally *first* detecting pattern in every
+    mode, which is the meaningful quantity.
+    """
+    order = circuit.topological_order()
+    order_index = {net: i for i, net in enumerate(order)}
+    outputs = set(circuit.outputs)
+    cone_cache: Dict[str, List[str]] = {}
+
+    def cone_of(net: str) -> List[str]:
+        cached = cone_cache.get(net)
+        if cached is None:
+            cone = circuit.fanout_cone(net)
+            cone.discard(net)
+            cached = sorted(cone, key=order_index.__getitem__)
+            cone_cache[net] = cached
+        return cached
+
+    def detect_mask(fault: StuckAtFault, good: Dict[str, int], mask: int) -> int:
+        stuck_word = mask if fault.value else 0
+        if good[fault.net] == stuck_word:
+            return 0
+        faulty: Dict[str, int] = {fault.net: stuck_word}
+        detect = 0
+        for net in cone_of(fault.net):
+            gate = circuit.gate(net)
+            ins = [faulty.get(i, good[i]) for i in gate.inputs]
+            value = _evaluate_packed_int(gate.gate_type, ins, mask)
+            if value == good[net]:
+                continue
+            faulty[net] = value
+            if net in outputs:
+                detect |= value ^ good[net]
+        if fault.net in outputs:
+            detect |= stuck_word ^ good[fault.net]
+        return detect & mask
+
+    remaining: List[StuckAtFault] = list(faults)
+    result = FaultSimResult()
+    patterns = np.atleast_2d(np.asarray(patterns))
+    result.patterns_applied = patterns.shape[0]
+    for words, n_in_block, start in _blocks(patterns, circuit.inputs):
+        if not remaining:
+            break
+        mask = (1 << n_in_block) - 1
+        good = _reference_good_values(circuit, order, words, mask)
+        still: List[StuckAtFault] = []
+        for fault in remaining:
+            detect = detect_mask(fault, good, mask)
+            if detect:
+                first = (detect & -detect).bit_length() - 1
+                result.detected.setdefault(fault, start + first)
+                if not drop_detected:
+                    still.append(fault)
+            else:
+                still.append(fault)
+        remaining = still
+    result.undetected = [f for f in remaining if f not in result.detected]
+    return result

@@ -74,13 +74,15 @@ def generate_mero_tests(
         )
 
     pool = (rng.random((pool_size, len(circuit.inputs))) < 0.5).astype(np.uint8)
-    values = BitSimulator(circuit).run_full(pool)
+    # Unpack only the rare-node rows of the compiled value matrix — the pool
+    # simulation itself is one levelized pass shared across all rare nodes.
+    values = BitSimulator(circuit).run_nets(pool, [net for net, _ in rare])
 
     # hits[v, r] = pool vector v drives rare node r to its rare value.
-    hits = np.zeros((pool_size, len(rare)), dtype=bool)
-    for col, (net, p_one) in enumerate(rare):
-        rare_value = 1 if p_one < 0.5 else 0
-        hits[:, col] = values[net] == rare_value
+    rare_values = np.array(
+        [1 if p_one < 0.5 else 0 for _, p_one in rare], dtype=np.uint8
+    )
+    hits = values == rare_values[np.newaxis, :]
 
     reachable = hits.any(axis=0)
     unreached = [rare[i][0] for i in range(len(rare)) if not reachable[i]]

@@ -131,15 +131,23 @@ class PopulationSampler:
             for gate in list(sim_circuit.gates()):
                 if gate.gate_type is GateType.DFF:
                     sim_circuit.replace_gate(gate.name, GateType.TIE0, ())
-        values = BitSimulator(sim_circuit).run_full(self.characterization_vectors)
-        for col, gate_name in enumerate(self._gate_names):
-            gate = sim_circuit.gate(gate_name)
-            if not gate.inputs:
+        gate_inputs = [
+            (col, sim_circuit.gate(name).inputs)
+            for col, name in enumerate(self._gate_names)
+        ]
+        source_nets = sorted({src for _, ins in gate_inputs for src in ins})
+        if not source_nets:
+            return factors
+        # One compiled simulation pass; unpack only the nets gates actually read.
+        values = BitSimulator(sim_circuit).run_nets(
+            self.characterization_vectors, source_nets
+        ).astype(np.float64)
+        position = {net: j for j, net in enumerate(source_nets)}
+        for col, ins in gate_inputs:
+            if not ins:
                 continue
-            highs = np.zeros(n_vectors, dtype=np.int64)
-            for src in gate.inputs:
-                highs += values[src].astype(np.int64)
-            factors[:, col] = 0.55 + 0.9 * (highs / len(gate.inputs))
+            columns = [position[src] for src in ins]
+            factors[:, col] = 0.55 + 0.9 * (values[:, columns].sum(axis=1) / len(ins))
         return factors
 
     # ------------------------------------------------------------------

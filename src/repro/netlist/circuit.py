@@ -46,6 +46,9 @@ class Circuit:
         self._topo_cache: Optional[List[str]] = None
         self._fanout_cache: Optional[Dict[str, Tuple[str, ...]]] = None
         self._level_cache: Optional[Dict[str, int]] = None
+        # Compiled levelized form (repro.sim.compiled); owned by that module,
+        # stored here so structural mutations drop it with the other caches.
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -294,6 +297,7 @@ class Circuit:
         self._topo_cache = None
         self._fanout_cache = None
         self._level_cache = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # dunder helpers

@@ -40,6 +40,24 @@ def _half_width(p_hat: float, n: int) -> float:
     return 1.96 * math.sqrt(max(p_hat * (1.0 - p_hat), 1.0 / n) / n)
 
 
+def _biased_patterns(
+    circuit: Circuit,
+    n_rows: int,
+    rng: np.random.Generator,
+    pi_probabilities: Optional[Mapping[str, float]],
+) -> np.ndarray:
+    """Random 0/1 rows, one column per PI, biased per ``pi_probabilities``.
+
+    All columns come from a single ``rng.random((n_rows, n_in))`` draw — one
+    RNG call instead of one per input column.
+    """
+    overrides = pi_probabilities or {}
+    thresholds = np.array(
+        [overrides.get(pi, 0.5) for pi in circuit.inputs], dtype=np.float64
+    )
+    return (rng.random((n_rows, len(circuit.inputs))) < thresholds).astype(np.uint8)
+
+
 def mc_signal_probabilities(
     circuit: Circuit,
     n_samples: int = 4096,
@@ -48,11 +66,7 @@ def mc_signal_probabilities(
 ) -> Dict[str, Estimate]:
     """Sampled P(net = 1) for every net of a combinational circuit."""
     rng = rng or np.random.default_rng(0)
-    n_in = len(circuit.inputs)
-    patterns = np.zeros((n_samples, n_in), dtype=np.uint8)
-    for col, pi in enumerate(circuit.inputs):
-        p = (pi_probabilities or {}).get(pi, 0.5)
-        patterns[:, col] = rng.random(n_samples) < p
+    patterns = _biased_patterns(circuit, n_samples, rng, pi_probabilities)
     values = BitSimulator(circuit).run_full(patterns)
     return {
         net: Estimate(float(bits.mean()), _half_width(float(bits.mean()), n_samples), n_samples)
@@ -73,11 +87,7 @@ def mc_toggle_rates(
     sequential circuits too (DFF state evolves along the sequence).
     """
     rng = rng or np.random.default_rng(0)
-    n_in = len(circuit.inputs)
-    sequence = np.zeros((n_vectors, n_in), dtype=np.uint8)
-    for col, pi in enumerate(circuit.inputs):
-        p = (pi_probabilities or {}).get(pi, 0.5)
-        sequence[:, col] = rng.random(n_vectors) < p
+    sequence = _biased_patterns(circuit, n_vectors, rng, pi_probabilities)
 
     if circuit.is_sequential:
         sim = SequentialSimulator(circuit)

@@ -5,10 +5,12 @@ from .bitsim import (
     exhaustive_patterns,
     pack_patterns,
     random_patterns,
+    reference_run_packed,
     simulate,
     tail_mask,
     unpack_patterns,
 )
+from .compiled import CompiledCircuit, GateGroup, compile_circuit
 from .equivalence import (
     ComparisonResult,
     compare_exhaustive,
@@ -20,6 +22,10 @@ from .seqsim import SequentialSimulator
 
 __all__ = [
     "BitSimulator",
+    "CompiledCircuit",
+    "GateGroup",
+    "compile_circuit",
+    "reference_run_packed",
     "SequentialSimulator",
     "simulate",
     "random_patterns",

@@ -13,15 +13,20 @@ The public entry points accept/return numpy arrays:
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gate import GateType
+from .compiled import CompiledCircuit, compile_circuit
 
 _WORD_BITS = 64
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 def pack_patterns(patterns: np.ndarray) -> np.ndarray:
@@ -34,24 +39,33 @@ def pack_patterns(patterns: np.ndarray) -> np.ndarray:
         raise ValueError(f"patterns must be 2-D, got shape {patterns.shape}")
     n_patterns, n_signals = patterns.shape
     n_words = (n_patterns + _WORD_BITS - 1) // _WORD_BITS
-    padded = np.zeros((n_words * _WORD_BITS, n_signals), dtype=np.uint64)
-    padded[:n_patterns] = patterns
-    # (n_signals, n_words, 64): bit k of each word comes from pattern w*64+k.
-    cube = padded.T.reshape(n_signals, n_words, _WORD_BITS)
-    packed = np.zeros((n_signals, n_words), dtype=np.uint64)
-    for offset in range(_WORD_BITS):
-        packed |= cube[:, :, offset] << np.uint64(offset)
-    return packed
+    bits = np.zeros((n_signals, n_words * _WORD_BITS), dtype=np.uint8)
+    if n_patterns:
+        bits[:, :n_patterns] = (patterns != 0).T
+    packed_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    if _LITTLE_ENDIAN:
+        return packed_bytes.view(np.uint64)
+    # Big-endian fallback: assemble words explicitly (byte b is bits 8b..8b+7).
+    words = packed_bytes.astype(np.uint64).reshape(n_signals, n_words, 8)
+    shifts = (np.uint64(8) * np.arange(8, dtype=np.uint64))[np.newaxis, np.newaxis, :]
+    return np.bitwise_or.reduce(words << shifts, axis=-1)
 
 
 def unpack_patterns(packed: np.ndarray, n_patterns: int) -> np.ndarray:
     """Inverse of :func:`pack_patterns`: returns ``(n_patterns, n_signals)`` uint8."""
-    packed = np.asarray(packed, dtype=np.uint64)
+    packed = np.ascontiguousarray(packed, dtype=np.uint64)
     n_signals, n_words = packed.shape
-    cube = np.zeros((n_signals, n_words, _WORD_BITS), dtype=np.uint8)
-    for offset in range(_WORD_BITS):
-        cube[:, :, offset] = (packed >> np.uint64(offset)) & np.uint64(1)
-    return cube.reshape(n_signals, n_words * _WORD_BITS).T[:n_patterns].copy()
+    if _LITTLE_ENDIAN:
+        as_bytes = packed.view(np.uint8)
+    else:
+        shifts = (np.uint64(8) * np.arange(8, dtype=np.uint64))[np.newaxis, np.newaxis, :]
+        as_bytes = (
+            ((packed[:, :, np.newaxis] >> shifts) & np.uint64(0xFF))
+            .astype(np.uint8)
+            .reshape(n_signals, n_words * 8)
+        )
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[:, :n_patterns].T.copy()
 
 
 def tail_mask(n_patterns: int) -> np.ndarray:
@@ -69,6 +83,10 @@ class BitSimulator:
 
     Sequential gates are not allowed here; use :class:`repro.sim.seqsim` for
     Trojan-infected (DFF-bearing) circuits.
+
+    Internally this is a thin facade over the compiled levelized engine of
+    :mod:`repro.sim.compiled`; the compiled schedule is cached on the circuit,
+    so constructing many simulators for the same circuit is cheap.
     """
 
     def __init__(self, circuit: Circuit) -> None:
@@ -77,7 +95,8 @@ class BitSimulator:
                 f"{circuit.name!r} contains DFFs; use SequentialSimulator"
             )
         self.circuit = circuit
-        self._order = circuit.topological_order()
+        self._compiled: CompiledCircuit = compile_circuit(circuit)
+        self._order = self._compiled.order
 
     def run_packed(self, packed_inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Simulate on packed words.  ``packed_inputs`` maps PI name -> words."""
@@ -85,24 +104,17 @@ class BitSimulator:
         if missing:
             raise ValueError(f"missing input values for {missing[:5]}")
         n_words = len(next(iter(packed_inputs.values()))) if packed_inputs else 1
-        values: Dict[str, np.ndarray] = {}
-        ones = np.full(n_words, _ALL_ONES, dtype=np.uint64)
-        zeros = np.zeros(n_words, dtype=np.uint64)
-        for net in self._order:
-            gate = self.circuit.gate(net)
-            gt = gate.gate_type
-            if gt is GateType.INPUT:
-                values[net] = np.asarray(packed_inputs[net], dtype=np.uint64)
-                continue
-            if gt is GateType.TIE0:
-                values[net] = zeros
-                continue
-            if gt is GateType.TIE1:
-                values[net] = ones
-                continue
-            ins = [values[i] for i in gate.inputs]
-            values[net] = _eval_packed(gt, ins, ones)
-        return values
+        values = self._compiled.new_matrix(n_words)
+        for i, pi in enumerate(self.circuit.inputs):
+            values[self._compiled.input_idx[i]] = np.asarray(
+                packed_inputs[pi], dtype=np.uint64
+            )
+        self._compiled.run_matrix(values)
+        return {net: values[i] for i, net in enumerate(self._order)}
+
+    def _run_matrix(self, patterns: np.ndarray) -> np.ndarray:
+        """Pack ``patterns`` and evaluate; returns the full value matrix."""
+        return self._compiled.simulate_packed(pack_patterns(patterns))
 
     def run(self, patterns: np.ndarray) -> np.ndarray:
         """Simulate ``(n_patterns, n_inputs)`` rows; returns ``(n_patterns, n_outputs)``.
@@ -117,23 +129,28 @@ class BitSimulator:
                 f"expected {len(self.circuit.inputs)} input columns, "
                 f"got {patterns.shape[1]}"
             )
-        packed = pack_patterns(patterns)
-        packed_inputs = {pi: packed[i] for i, pi in enumerate(self.circuit.inputs)}
-        values = self.run_packed(packed_inputs)
-        out_words = np.stack([values[o] for o in self.circuit.outputs])
-        return unpack_patterns(out_words, n_patterns)
+        values = self._run_matrix(patterns)
+        return unpack_patterns(values[self._compiled.output_idx], n_patterns)
 
     def run_full(self, patterns: np.ndarray) -> Dict[str, np.ndarray]:
         """Like :meth:`run` but returns every net, unpacked, keyed by name."""
         patterns = np.atleast_2d(np.asarray(patterns))
         n_patterns = patterns.shape[0]
-        packed = pack_patterns(patterns)
-        packed_inputs = {pi: packed[i] for i, pi in enumerate(self.circuit.inputs)}
-        values = self.run_packed(packed_inputs)
-        nets = list(values)
-        words = np.stack([values[n] for n in nets])
-        unpacked = unpack_patterns(words, n_patterns)
-        return {net: unpacked[:, i] for i, net in enumerate(nets)}
+        values = self._run_matrix(patterns)
+        unpacked = unpack_patterns(values, n_patterns)
+        return {net: unpacked[:, i] for i, net in enumerate(self._order)}
+
+    def run_nets(self, patterns: np.ndarray, nets: Sequence[str]) -> np.ndarray:
+        """Simulate and unpack only ``nets``: returns ``(n_patterns, len(nets))``.
+
+        Cheaper than :meth:`run_full` when only a few of the circuit's nets
+        are of interest (rare-node hit counting, leakage state factors, ...).
+        """
+        patterns = np.atleast_2d(np.asarray(patterns))
+        n_patterns = patterns.shape[0]
+        values = self._run_matrix(patterns)
+        rows = np.array([self._compiled.index[net] for net in nets], dtype=np.intp)
+        return unpack_patterns(values[rows], n_patterns)
 
 
 def _eval_packed(
@@ -163,6 +180,34 @@ def _eval_packed(
         d0, d1, sel = inputs
         return (d0 & (sel ^ ones)) | (d1 & sel)
     raise NetlistError(f"cannot bit-simulate gate type {gate_type}")
+
+
+def reference_run_packed(
+    circuit: Circuit, packed_inputs: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Per-gate interpreter (the pre-compiled engine), kept as a reference.
+
+    Walks the netlist dict one gate at a time.  Used by the differential
+    tests in ``tests/test_sim_compiled.py`` and as the "before" measurement
+    in ``benchmarks/test_perf_sim.py``; production code should go through
+    :class:`BitSimulator` instead.
+    """
+    n_words = len(next(iter(packed_inputs.values()))) if packed_inputs else 1
+    values: Dict[str, np.ndarray] = {}
+    ones = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+    zeros = np.zeros(n_words, dtype=np.uint64)
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        gt = gate.gate_type
+        if gt is GateType.INPUT:
+            values[net] = np.asarray(packed_inputs[net], dtype=np.uint64)
+        elif gt is GateType.TIE0:
+            values[net] = zeros
+        elif gt is GateType.TIE1:
+            values[net] = ones
+        else:
+            values[net] = _eval_packed(gt, [values[i] for i in gate.inputs], ones)
+    return values
 
 
 def simulate(circuit: Circuit, patterns: np.ndarray) -> np.ndarray:

@@ -1,0 +1,334 @@
+"""Compiled levelized simulation core: array-based gate evaluation.
+
+This module compiles a :class:`~repro.netlist.circuit.Circuit` **once** into
+flat NumPy structures so that a full bit-parallel simulation pass is a handful
+of vectorized operations per (level, gate-type) group instead of one Python
+iteration per gate.  It is the engine behind :class:`repro.sim.BitSimulator`
+and :class:`repro.atpg.FaultSimulator`; callers normally keep using those
+public APIs and get the compiled path transparently.
+
+Level-schedule layout
+---------------------
+Compilation assigns every net a dense integer row index (topological order)
+and builds:
+
+* ``values``: a ``(n_nets, n_words)`` uint64 matrix — row *i* holds the packed
+  simulation words of net *i* (64 patterns per word, bit ``k`` of word ``w``
+  is pattern ``w*64 + k``, matching :func:`repro.sim.bitsim.pack_patterns`).
+* ``schedule``: an ordered list of :class:`GateGroup` records.  All gates that
+  share the same ``(logic level, gate type, arity)`` are grouped together;
+  groups are sorted by level, so by the time a group is evaluated every row it
+  reads has already been written.  A group evaluates as
+
+  ``values[out_idx] = reduce(op, values[in_idx], axis=1)``
+
+  where ``in_idx`` has shape ``(n_gates_in_group, arity)`` — one fancy-indexed
+  gather, one ufunc reduction, and one scatter per group, independent of the
+  number of gates in the group.
+* constant rows: ``TIE0``/``TIE1`` rows are pre-filled when the matrix is
+  allocated and never revisited.
+
+Fault-simulation support
+------------------------
+:meth:`CompiledCircuit.cone_schedule` extracts, per fault site, the sub-set of
+groups restricted to the site's fanout cone (plus the row list to restore and
+the primary-output rows to compare).  Injecting a stuck-at fault is then:
+force the site row, re-evaluate only the cone groups, XOR the cone's output
+rows against the good matrix.  Cone schedules are cached on the compiled
+circuit, so every :class:`~repro.atpg.faultsim.FaultSimulator` built for the
+same (unmutated) circuit shares them.
+
+Compilation caching
+-------------------
+:func:`compile_circuit` memoizes the compiled form on the circuit object
+itself; any structural mutation invalidates it (see
+``Circuit._invalidate``).  Repeated simulator constructions — the pattern all
+over :mod:`repro.prob.montecarlo`, :mod:`repro.atpg.mero`,
+:mod:`repro.detect`, and :mod:`repro.core.pipeline` — therefore compile once
+per circuit revision.
+
+Only combinational circuits compile; sequential circuits are rejected exactly
+like :class:`~repro.sim.bitsim.BitSimulator` does (levelizing the
+combinational settle of :mod:`repro.sim.seqsim` is a ROADMAP item).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit, NetlistError
+from ..netlist.gate import GateType
+
+_WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: numpy reduction ufunc per associative gate family.
+_REDUCERS = {
+    GateType.AND: np.bitwise_and,
+    GateType.NAND: np.bitwise_and,
+    GateType.OR: np.bitwise_or,
+    GateType.NOR: np.bitwise_or,
+    GateType.XOR: np.bitwise_xor,
+    GateType.XNOR: np.bitwise_xor,
+}
+
+_INVERTING = frozenset({GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT})
+
+
+@dataclass(frozen=True)
+class GateGroup:
+    """All gates of one type/arity on one logic level.
+
+    ``out_idx`` has shape ``(n_gates,)``; ``in_idx`` has shape
+    ``(n_gates, arity)``.  Both index rows of the value matrix.  ``out`` is
+    the scatter target actually used during evaluation: row indexing assigns
+    rows in schedule order, so full-schedule groups write one contiguous row
+    *slice* (cheap basic indexing); cone-restricted subgroups fall back to an
+    index array.
+    """
+
+    level: int
+    gate_type: GateType
+    out_idx: np.ndarray
+    in_idx: np.ndarray
+    out: object
+
+
+@dataclass(frozen=True)
+class ConeSchedule:
+    """Fanout-cone sub-schedule for one fault site.
+
+    ``rows`` lists every row the cone groups write (for cheap restore);
+    ``po_rows`` lists the primary-output rows inside the cone (the detection
+    frontier), excluding the site itself.
+    """
+
+    site: int
+    groups: Tuple[GateGroup, ...]
+    rows: np.ndarray
+    po_rows: np.ndarray
+    site_is_output: bool
+
+
+def _evaluate_group(group: GateGroup, values: np.ndarray) -> None:
+    """Evaluate one gate group in place on the ``(n_nets, n_words)`` matrix."""
+    gt = group.gate_type
+    in_idx = group.in_idx
+    if gt in _REDUCERS:
+        if in_idx.shape[1] == 2:
+            acc = _REDUCERS[gt](values[in_idx[:, 0]], values[in_idx[:, 1]])
+        else:
+            acc = _REDUCERS[gt].reduce(values[in_idx], axis=1)
+        if gt in _INVERTING:
+            np.invert(acc, out=acc)
+        values[group.out] = acc
+        return
+    if gt is GateType.NOT:
+        values[group.out] = ~values[in_idx[:, 0]]
+        return
+    if gt is GateType.BUFF:
+        values[group.out] = values[in_idx[:, 0]]
+        return
+    if gt is GateType.MUX:
+        d0 = values[in_idx[:, 0]]
+        # d0 XOR ((d0 XOR d1) AND sel): selects d1 where sel is set.
+        acc = values[in_idx[:, 1]]
+        np.bitwise_xor(acc, d0, out=acc)
+        np.bitwise_and(acc, values[in_idx[:, 2]], out=acc)
+        np.bitwise_xor(acc, d0, out=acc)
+        values[group.out] = acc
+        return
+    raise NetlistError(f"cannot bit-simulate gate type {gt}")  # pragma: no cover
+
+
+class CompiledCircuit:
+    """A circuit lowered to index arrays and a levelized group schedule."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        if circuit.is_sequential:
+            raise NetlistError(
+                f"{circuit.name!r} contains DFFs; the compiled core is combinational"
+            )
+        self.circuit = circuit
+        levels = circuit.levels()
+
+        # Bucket gates by (level, type, arity); sources (PIs/constants) are
+        # kept apart because they have no evaluation step.
+        sources: List[str] = []
+        tie0_nets: List[str] = []
+        tie1_nets: List[str] = []
+        grouping: Dict[Tuple[int, GateType, int], List[str]] = {}
+        for net in circuit.topological_order():
+            gate = circuit.gate(net)
+            gt = gate.gate_type
+            if gt is GateType.INPUT:
+                sources.append(net)
+            elif gt is GateType.TIE0:
+                sources.append(net)
+                tie0_nets.append(net)
+            elif gt is GateType.TIE1:
+                sources.append(net)
+                tie1_nets.append(net)
+            else:
+                grouping.setdefault((levels[net], gt, len(gate.inputs)), []).append(net)
+
+        # Assign row indices in schedule order: sources first, then each group
+        # as one contiguous run, so a group's scatter is a basic row slice.
+        group_keys = sorted(
+            grouping, key=lambda key: (key[0], key[1].value, key[2])
+        )
+        self.order: List[str] = list(sources)
+        for key in group_keys:
+            self.order.extend(grouping[key])
+        self.index: Dict[str, int] = {net: i for i, net in enumerate(self.order)}
+        self.n_nets = len(self.order)
+        self.input_idx = np.array(
+            [self.index[pi] for pi in circuit.inputs], dtype=np.intp
+        )
+        self.output_idx = np.array(
+            [self.index[po] for po in circuit.outputs], dtype=np.intp
+        )
+        self.po_set = frozenset(self.output_idx.tolist())
+        self.tie0_idx = np.array([self.index[n] for n in tie0_nets], dtype=np.intp)
+        self.tie1_idx = np.array([self.index[n] for n in tie1_nets], dtype=np.intp)
+
+        #: Per-net (gate_type, input row indices); None for INPUT/TIE rows.
+        #: Used by scalar-word fallbacks (e.g. single-block fault simulation).
+        self.node: List[object] = [None] * self.n_nets
+
+        self.schedule: List[GateGroup] = []
+        row = len(sources)
+        for key in group_keys:
+            level, gt, arity = key
+            nets = grouping[key]
+            in_rows = []
+            for net in nets:
+                rows = [self.index[src] for src in circuit.gate(net).inputs]
+                in_rows.append(rows)
+                self.node[self.index[net]] = (gt, tuple(rows))
+            start, stop = row, row + len(nets)
+            row = stop
+            self.schedule.append(
+                GateGroup(
+                    level=level,
+                    gate_type=gt,
+                    out_idx=np.arange(start, stop, dtype=np.intp),
+                    in_idx=np.array(in_rows, dtype=np.intp).reshape(len(nets), arity),
+                    out=slice(start, stop),
+                )
+            )
+        self._cone_cache: Dict[int, ConeSchedule] = {}
+        self._cone_rows_cache: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # full-circuit evaluation
+    # ------------------------------------------------------------------
+    def new_matrix(self, n_words: int) -> np.ndarray:
+        """Fresh ``(n_nets, n_words)`` value matrix with constant rows set.
+
+        Every non-constant row is either a PI row (the caller fills it) or is
+        written by the schedule, so the bulk allocation stays uninitialized.
+        """
+        values = np.empty((self.n_nets, n_words), dtype=np.uint64)
+        if self.input_idx.size:
+            values[self.input_idx] = 0
+        if self.tie0_idx.size:
+            values[self.tie0_idx] = 0
+        if self.tie1_idx.size:
+            values[self.tie1_idx] = _ALL_ONES
+        return values
+
+    def run_matrix(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate the whole schedule in place; PI/constant rows must be set."""
+        for group in self.schedule:
+            _evaluate_group(group, values)
+        return values
+
+    def simulate_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Simulate ``(n_inputs, n_words)`` packed PI words; returns the matrix."""
+        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        if packed_inputs.ndim == 1:
+            packed_inputs = packed_inputs.reshape(-1, 1)
+        n_words = packed_inputs.shape[1]
+        values = self.new_matrix(n_words)
+        if self.input_idx.size:
+            values[self.input_idx] = packed_inputs
+        return self.run_matrix(values)
+
+    # ------------------------------------------------------------------
+    # fault-cone sub-schedules
+    # ------------------------------------------------------------------
+    def cone_rows(self, net: str) -> List[int]:
+        """Topologically-sorted row indices of ``net``'s fanout cone (exclusive)."""
+        return self.cone_rows_at(self.index[net])
+
+    def cone_rows_at(self, site: int) -> List[int]:
+        """Row-keyed variant of :meth:`cone_rows` (hot in fault simulation)."""
+        cached = self._cone_rows_cache.get(site)
+        if cached is None:
+            net = self.order[site]
+            cone = self.circuit.fanout_cone(net)
+            cone.discard(net)
+            cached = sorted(self.index[n] for n in cone)
+            self._cone_rows_cache[site] = cached
+        return cached
+
+    def cone_schedule(self, net: str) -> ConeSchedule:
+        """Cached fanout-cone sub-schedule for one fault site."""
+        site = self.index[net]
+        cached = self._cone_cache.get(site)
+        if cached is None:
+            rows = self.cone_rows(net)
+            groups: List[GateGroup] = []
+            for group in self.schedule:
+                # Each full group owns one contiguous row run, so the cone's
+                # (sorted) member rows inside it form one bisectable span.
+                start, stop = group.out.start, group.out.stop
+                lo = bisect_left(rows, start)
+                hi = bisect_left(rows, stop)
+                if hi == lo:
+                    continue
+                if hi - lo == stop - start:
+                    groups.append(group)
+                    continue
+                keep = np.array(rows[lo:hi], dtype=np.intp) - start
+                out_idx = group.out_idx[keep]
+                groups.append(
+                    GateGroup(
+                        level=group.level,
+                        gate_type=group.gate_type,
+                        out_idx=out_idx,
+                        in_idx=group.in_idx[keep],
+                        out=out_idx,
+                    )
+                )
+            cached = ConeSchedule(
+                site=site,
+                groups=tuple(groups),
+                rows=np.array(rows, dtype=np.intp),
+                po_rows=np.array(
+                    [i for i in rows if i in self.po_set], dtype=np.intp
+                ),
+                site_is_output=site in self.po_set,
+            )
+            self._cone_cache[site] = cached
+        return cached
+
+    def run_cone(self, cone: ConeSchedule, values: np.ndarray) -> np.ndarray:
+        """Re-evaluate only the cone's groups in place (site row pre-forced)."""
+        for group in cone.groups:
+            _evaluate_group(group, values)
+        return values
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Compile ``circuit``, memoizing on the circuit until it is mutated."""
+    cached = getattr(circuit, "_compiled_cache", None)
+    if cached is None:
+        cached = CompiledCircuit(circuit)
+        circuit._compiled_cache = cached
+    return cached
