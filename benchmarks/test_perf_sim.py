@@ -7,8 +7,14 @@ reference implementations on ISCAS-scale circuits:
   throughput is reported in pattern-gate evaluations per second.
 * **faultsim** — coverage-style run (``drop_detected=False``) of a sampled
   stuck-at fault list against the same vectors.
+* **seqsim** — Monte-Carlo trigger sessions over a counter-Trojan-infected
+  c3540-class circuit: compiled sequential schedule vs. the per-gate
+  reference dict engine, bit-identity checked in the same run.
+* **pipeline** — one end-to-end TrojanZero flow (thresholds → salvage →
+  insertion → Pft Monte-Carlo) with the salvage compile-cache counters
+  (full vs. patched compiles — the structural-fingerprint cache at work).
 
-Results (before/after wall time, throughput, speedup) are written to
+Results (before/after wall time, throughput, speedup) are merged into
 ``BENCH_perf.json`` at the repo root so the perf trajectory is tracked in
 version control.  The assertions below are deliberately *generous* floors —
 they exist to fail loudly on order-of-magnitude regressions (e.g. the engine
@@ -27,15 +33,30 @@ from repro.atpg import full_fault_list
 from repro.atpg.faultsim import FaultSimulator, reference_fault_sim
 from repro.bench import c17, c499_like, c880_like, c1908_like, c3540_like
 from repro.bench.iscas_extra import c6288_like
+from repro.core.pipeline import TrojanZeroPipeline
 from repro.sim.bitsim import (
     BitSimulator,
     pack_patterns,
     reference_run_packed,
     unpack_patterns,
 )
+from repro.sim.seqsim import ReferenceSequentialSimulator, SequentialSimulator
+from repro.trojan import insert_counter_trojan
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
 _OUT_PATH = _REPO_ROOT / "BENCH_perf.json"
+
+
+def _update_report(section: str, payload: dict) -> None:
+    """Merge one section into ``BENCH_perf.json`` (sections own their keys)."""
+    report = {}
+    if _OUT_PATH.exists():
+        try:
+            report = json.loads(_OUT_PATH.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report[section] = payload
+    _OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 N_PATTERNS = 4096
 FAULT_SAMPLE = 96
@@ -122,16 +143,13 @@ def _bench_circuit(name, build, rng):
 def test_compiled_engine_throughput():
     rng = np.random.default_rng(2026)
     results = {name: _bench_circuit(name, build, rng) for name, build in CIRCUITS.items()}
-    report = {
-        "workload": {
-            "n_patterns": N_PATTERNS,
-            "fault_sample": FAULT_SAMPLE,
-            "faultsim_mode": "coverage (drop_detected=False)",
-            "units": "pattern-gate evaluations per second / fault-patterns per second",
-        },
-        "circuits": results,
-    }
-    _OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    _update_report("workload", {
+        "n_patterns": N_PATTERNS,
+        "fault_sample": FAULT_SAMPLE,
+        "faultsim_mode": "coverage (drop_detected=False)",
+        "units": "pattern-gate evaluations per second / fault-patterns per second",
+    })
+    _update_report("circuits", results)
 
     iscas = {n: r for n, r in results.items() if n != "c17"}
     bitsim_fast = [n for n, r in iscas.items() if r["bitsim"]["speedup"] >= 2.0]
@@ -144,3 +162,96 @@ def test_compiled_engine_throughput():
         f"fault-sim speedup regressed: only {faultsim_fast} of {list(iscas)} "
         f"reached 8x (see {_OUT_PATH})"
     )
+
+
+# ---------------------------------------------------------------------------
+# sequential Monte-Carlo (counter-Trojan trigger sessions)
+# ---------------------------------------------------------------------------
+SEQ_SESSIONS = 256
+SEQ_VECTORS = 48
+SEQ_MIN_SPEEDUP = 3.0  # loud-regression floor; typically observed >= 5x
+
+
+def test_seqsim_monte_carlo_throughput():
+    """Compiled sequential engine vs. reference dict engine, N'' Monte-Carlo."""
+    circuit = c3540_like()
+    instance = insert_counter_trojan(
+        circuit,
+        victim=circuit.outputs[0],
+        clock_source=circuit.internal_nets()[50],
+        n_bits=3,
+    )
+    rng = np.random.default_rng(2026)
+    sequences = (
+        rng.random((SEQ_SESSIONS, SEQ_VECTORS, len(circuit.inputs))) < 0.5
+    ).astype(np.uint8)
+    watch = [instance.trigger_net]
+
+    sim = SequentialSimulator(circuit)
+    sim.run_sequences_nets(sequences, watch)  # warm the compiled schedule
+    t_after = _best_of(lambda: sim.run_sequences_nets(sequences, watch), 3)
+    got = sim.run_sequences_nets(sequences, watch)
+
+    ref = ReferenceSequentialSimulator(circuit)
+    t_before = _timed(lambda: ref.run_sequences_nets(sequences, watch))
+    want = ref.run_sequences_nets(sequences, watch)
+
+    assert (got == want).all(), "compiled sequential engine diverged from reference"
+
+    vector_steps = SEQ_SESSIONS * SEQ_VECTORS
+    speedup = t_before / t_after
+    _update_report("seqsim", {
+        "circuit": "c3540 + 3-bit counter Trojan",
+        "gates": circuit.num_logic_gates,
+        "n_sessions": SEQ_SESSIONS,
+        "n_vectors": SEQ_VECTORS,
+        "before_s": t_before,
+        "after_s": t_after,
+        "before_vector_steps_per_s": vector_steps / t_before,
+        "after_vector_steps_per_s": vector_steps / t_after,
+        "speedup": speedup,
+    })
+    assert speedup >= SEQ_MIN_SPEEDUP, (
+        f"sequential Monte-Carlo speedup regressed: {speedup:.1f}x < "
+        f"{SEQ_MIN_SPEEDUP}x (see {_OUT_PATH})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# end-to-end pipeline (thresholds -> salvage -> insertion -> Pft MC)
+# ---------------------------------------------------------------------------
+def test_pipeline_end_to_end_timing():
+    """One full TrojanZero flow; records wall time + salvage compile caching."""
+    circuit = c880_like()
+    pipeline = TrojanZeroPipeline.default()
+    start = time.perf_counter()
+    result = pipeline.run(
+        circuit,
+        p_threshold=0.85,
+        max_candidates=24,
+        monte_carlo_sessions=64,
+    )
+    elapsed = time.perf_counter() - start
+
+    stats = result.salvage.compile_stats
+    trials = len(result.salvage.removals)
+    _update_report("pipeline", {
+        "circuit": "c880",
+        "gates": circuit.num_logic_gates,
+        "max_candidates": 24,
+        "monte_carlo_sessions": 64,
+        "wall_s": elapsed,
+        "salvage_trials": trials,
+        "salvage_compile_stats": stats,
+    })
+    # The structural-fingerprint cache must keep salvage's edit/revert loop
+    # off the cold-compile path: at most the golden + first-trial compiles
+    # may be full; every other trial patches or hits a cache.
+    assert stats.get("full_compiles", 0) <= 2, (
+        f"salvage recompiled cold {stats.get('full_compiles')} times over "
+        f"{trials} trials (stats: {stats}; see {_OUT_PATH})"
+    )
+    if trials > 2:
+        assert (
+            stats.get("patched_compiles", 0) + stats.get("fingerprint_hits", 0) > 0
+        ), f"no compile-cache hits across {trials} salvage trials: {stats}"

@@ -5,6 +5,13 @@
 HT-free, modified, and TZ-infected circuits with their power/area
 characterizations, candidate/expendable counts, the inserted design, and the
 trigger probability Pft.
+
+Every simulation in the flow — threshold fault-sims, salvage's functional
+trials, the sequential functional tests of the infected N'', and the
+Monte-Carlo Pft sessions — runs on the compiled levelized engine of
+:mod:`repro.sim.compiled`, sharing schedules across circuit copies through
+the structural-fingerprint cache (salvage's edit/revert trials compile by
+patching, not from cold).
 """
 
 from __future__ import annotations
@@ -70,10 +77,14 @@ class TrojanZeroResult:
         """Human-readable run summary (Table-I-row style)."""
         n = self.power_free
         np_ = self.power_modified
+        stats = self.salvage.compile_stats
         lines = [
             f"TrojanZero on {self.benchmark} (Pth = {self.p_threshold}):",
             f"  candidates |C| = {self.salvage.candidate_count}, "
             f"expendable Eg = {self.salvage.expendable_gates}",
+            f"  salvage compiles: {stats.get('full_compiles', 0)} full, "
+            f"{stats.get('patched_compiles', 0)} patched, "
+            f"{stats.get('fingerprint_hits', 0)} fingerprint hits",
             f"  N : total {n.total_uw:8.2f} uW  area {n.area_ge:8.1f} GE",
             f"  N': total {np_.total_uw:8.2f} uW  area {np_.area_ge:8.1f} GE",
         ]

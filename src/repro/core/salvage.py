@@ -6,6 +6,13 @@ find the candidate set ``C`` of nodes with near-constant signal probability
 constant, dead-strip the fan-in logic this strands, and keep each edit only
 if *every* defender pattern set still passes.  The freed power and area are
 the salvaged budget for HT insertion.
+
+The edit/revert loop leans on the structural compile cache of
+:mod:`repro.sim.compiled`: ``work.copy()`` shares the current compiled
+schedule, each tie/strip trial compiles by *patching* its ancestor's
+schedule instead of recompiling cold, and reverting (discarding the trial)
+costs nothing because ``work`` keeps its attached form.
+:attr:`SalvageResult.compile_stats` records the cache behaviour of the run.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from ..netlist.transform import strip_dead_logic, tie_net_to_constant
 from ..power.analysis import PowerDelta, PowerReport, analyze
 from ..power.library import CellLibrary
 from ..prob.propagate import rare_nodes, signal_probabilities
+from ..sim.compiled import COMPILE_STATS
 from ..sim.equivalence import functional_test
 
 
@@ -48,6 +56,9 @@ class SalvageResult:
     removals: List[RemovalRecord]
     power_before: PowerReport
     power_after: PowerReport
+    #: Compile-cache counter deltas over this run (full/patched/fingerprint/
+    #: attached — see ``repro.sim.compiled.COMPILE_STATS``).
+    compile_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def candidate_count(self) -> int:
@@ -97,6 +108,7 @@ def salvage(
         Optional cap on how many candidates are attempted (largest extremity
         first), for bounded-effort runs.
     """
+    stats_before = COMPILE_STATS.snapshot()
     golden = circuit.copy()
     work = circuit.copy(f"{circuit.name}_mod")
     if power_before is None:
@@ -156,4 +168,5 @@ def salvage(
         removals=removals,
         power_before=power_before,
         power_after=power_after,
+        compile_stats=COMPILE_STATS.delta_since(stats_before),
     )

@@ -26,7 +26,8 @@ import numpy as np
 
 from ..netlist.circuit import Circuit
 from ..power.analysis import PowerReport
-from ..sim.bitsim import BitSimulator
+from ..sim.bitsim import pack_patterns, unpack_patterns
+from ..sim.compiled import compile_circuit
 
 
 @dataclass(frozen=True)
@@ -117,31 +118,34 @@ class PopulationSampler:
         self._state_factors = self._compute_state_factors()
 
     def _compute_state_factors(self) -> np.ndarray:
-        """(n_vectors, n_gates) leakage state factors from logic simulation."""
+        """(n_vectors, n_gates) leakage state factors from logic simulation.
+
+        Leakage characterization holds the chip quiescent: flip-flops sit in
+        their reset (zero) state.  The compiled sequential schedule models
+        exactly that — DFF outputs are source rows that
+        :meth:`~repro.sim.compiled.CompiledCircuit.new_matrix` pre-loads with
+        zeros — so one settle of the shared compiled form suffices; no
+        quiescent copy, no DFF→TIE0 rewrite, no per-sampler recompile.
+        """
         n_vectors = self.characterization_vectors.shape[0]
         factors = np.ones((n_vectors, len(self._gate_names)))
-        sim_circuit = self.circuit
-        if sim_circuit.is_sequential:
-            # Leakage characterization holds the chip quiescent: flip-flops
-            # sit in their reset (zero) state, so the combinational view with
-            # DFF outputs tied low is the physically right model.
-            sim_circuit = sim_circuit.copy(f"{sim_circuit.name}_quiescent")
-            from ..netlist.gate import GateType
-
-            for gate in list(sim_circuit.gates()):
-                if gate.gate_type is GateType.DFF:
-                    sim_circuit.replace_gate(gate.name, GateType.TIE0, ())
+        circuit = self.circuit
+        # DFF cells keep their nominal leakage (factor 1.0): their state is
+        # the reset state regardless of the applied characterization vector.
         gate_inputs = [
-            (col, sim_circuit.gate(name).inputs)
+            (col, () if circuit.gate(name).is_sequential else circuit.gate(name).inputs)
             for col, name in enumerate(self._gate_names)
         ]
         source_nets = sorted({src for _, ins in gate_inputs for src in ins})
         if not source_nets:
             return factors
-        # One compiled simulation pass; unpack only the nets gates actually read.
-        values = BitSimulator(sim_circuit).run_nets(
-            self.characterization_vectors, source_nets
-        ).astype(np.float64)
+        # One settle of the compiled schedule; unpack only the read nets.
+        compiled = compile_circuit(circuit)
+        matrix = compiled.simulate_packed(
+            pack_patterns(self.characterization_vectors)
+        )
+        rows = np.array([compiled.index[net] for net in source_nets], dtype=np.intp)
+        values = unpack_patterns(matrix[rows], n_vectors).astype(np.float64)
         position = {net: j for j, net in enumerate(source_nets)}
         for col, ins in gate_inputs:
             if not ins:

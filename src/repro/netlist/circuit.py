@@ -18,6 +18,7 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -49,6 +50,12 @@ class Circuit:
         # Compiled levelized form (repro.sim.compiled); owned by that module,
         # stored here so structural mutations drop it with the other caches.
         self._compiled_cache = None
+        self._fingerprint_cache: Optional[str] = None
+        # Provenance for incremental recompilation: the circuit this one was
+        # copied from.  Mutations do NOT clear it — repro.sim.compiled diffs
+        # against the ancestor's gate map to patch schedules instead of
+        # recompiling after small edits (salvage's tie/strip trials).
+        self._derived_from: Optional["Circuit"] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -281,15 +288,52 @@ class Circuit:
         """Nets driven by logic gates (not PIs)."""
         return [g.name for g in self.logic_gates()]
 
+    def structural_fingerprint(self) -> str:
+        """Stable hash of the netlist structure (gates + PI/PO interfaces).
+
+        Two circuits with equal fingerprints are structurally identical —
+        same gate map, same input order, same output order — regardless of
+        their ``name``.  The fingerprint keys the shared compile cache in
+        :mod:`repro.sim.compiled`, so unmutated copies (and edit/revert
+        round-trips) reuse one compiled schedule.  Cached; any structural
+        mutation invalidates it along with the other caches.
+        """
+        if self._fingerprint_cache is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update("|".join(self._inputs).encode())
+            h.update(b"\x00")
+            h.update("|".join(self._outputs).encode())
+            for name in sorted(self._gates):
+                gate = self._gates[name]
+                h.update(
+                    f"\x00{name}\x01{gate.gate_type.value}\x01"
+                    f"{','.join(gate.inputs)}".encode()
+                )
+            self._fingerprint_cache = h.hexdigest()
+        return self._fingerprint_cache
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "Circuit":
-        """Deep-enough copy: gates are immutable, so copying the maps suffices."""
+        """Deep-enough copy: gates are immutable, so copying the maps suffices.
+
+        Derived caches travel with the copy: the structures they describe are
+        identical until either circuit mutates, and mutation invalidates them
+        on the mutated side only (caches are replaced wholesale, never edited
+        in place).  In particular the compiled simulation schedule is shared,
+        so ``BitSimulator(circuit.copy())`` does not recompile cold.
+        """
         dup = Circuit(name or self.name)
         dup._gates = dict(self._gates)
         dup._inputs = list(self._inputs)
         dup._outputs = list(self._outputs)
+        dup._topo_cache = self._topo_cache
+        dup._fanout_cache = self._fanout_cache
+        dup._level_cache = self._level_cache
+        dup._compiled_cache = self._compiled_cache
+        dup._fingerprint_cache = self._fingerprint_cache
+        dup._derived_from = self
         return dup
 
     def _invalidate(self) -> None:
@@ -298,6 +342,7 @@ class Circuit:
         self._fanout_cache = None
         self._level_cache = None
         self._compiled_cache = None
+        self._fingerprint_cache = None
 
     # ------------------------------------------------------------------
     # dunder helpers

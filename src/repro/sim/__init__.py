@@ -10,7 +10,13 @@ from .bitsim import (
     tail_mask,
     unpack_patterns,
 )
-from .compiled import CompiledCircuit, GateGroup, compile_circuit
+from .compiled import (
+    COMPILE_STATS,
+    CompiledCircuit,
+    CompileStats,
+    GateGroup,
+    compile_circuit,
+)
 from .equivalence import (
     ComparisonResult,
     compare_exhaustive,
@@ -18,14 +24,22 @@ from .equivalence import (
     compare_sequential_on_patterns,
     functional_test,
 )
-from .seqsim import SequentialSimulator
+from .seqsim import (
+    ReferenceSequentialSimulator,
+    SequentialSimulator,
+    reference_step_packed,
+)
 
 __all__ = [
     "BitSimulator",
+    "COMPILE_STATS",
     "CompiledCircuit",
+    "CompileStats",
     "GateGroup",
     "compile_circuit",
     "reference_run_packed",
+    "reference_step_packed",
+    "ReferenceSequentialSimulator",
     "SequentialSimulator",
     "simulate",
     "random_patterns",

@@ -110,7 +110,13 @@ class BitSimulator:
                 packed_inputs[pi], dtype=np.uint64
             )
         self._compiled.run_matrix(values)
-        return {net: values[i] for i, net in enumerate(self._order)}
+        # A patched/shared compiled form may carry rows for dead-stripped
+        # nets; report only nets the circuit actually has.
+        return {
+            net: values[i]
+            for i, net in enumerate(self._order)
+            if net in self.circuit
+        }
 
     def _run_matrix(self, patterns: np.ndarray) -> np.ndarray:
         """Pack ``patterns`` and evaluate; returns the full value matrix."""
@@ -138,7 +144,11 @@ class BitSimulator:
         n_patterns = patterns.shape[0]
         values = self._run_matrix(patterns)
         unpacked = unpack_patterns(values, n_patterns)
-        return {net: unpacked[:, i] for i, net in enumerate(self._order)}
+        return {
+            net: unpacked[:, i]
+            for i, net in enumerate(self._order)
+            if net in self.circuit
+        }
 
     def run_nets(self, patterns: np.ndarray, nets: Sequence[str]) -> np.ndarray:
         """Simulate and unpack only ``nets``: returns ``(n_patterns, len(nets))``.

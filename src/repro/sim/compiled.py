@@ -38,25 +38,47 @@ rows against the good matrix.  Cone schedules are cached on the compiled
 circuit, so every :class:`~repro.atpg.faultsim.FaultSimulator` built for the
 same (unmutated) circuit shares them.
 
+Sequential schedule
+-------------------
+Sequential circuits compile too: every DFF *output* net becomes an extra
+source row alongside the PIs and TIE constants (it is a level-0 net — the
+flip-flop breaks the timing loop), and the levelized group schedule covers
+only the combinational fan-in.  One combinational *settle* of
+:mod:`repro.sim.seqsim` is then a single :meth:`CompiledCircuit.run_matrix`
+call with the state rows pre-loaded, and the edge-driven ripple update
+(detect rising clock edges, latch ``d`` where they fired, re-settle) is a
+handful of vectorized row operations over ``dff_clk_idx``/``dff_d_idx`` —
+see :meth:`CompiledCircuit.step_sequential`.
+
 Compilation caching
 -------------------
-:func:`compile_circuit` memoizes the compiled form on the circuit object
-itself; any structural mutation invalidates it (see
-``Circuit._invalidate``).  Repeated simulator constructions — the pattern all
-over :mod:`repro.prob.montecarlo`, :mod:`repro.atpg.mero`,
-:mod:`repro.detect`, and :mod:`repro.core.pipeline` — therefore compile once
-per circuit revision.
+:func:`compile_circuit` memoizes at three levels:
 
-Only combinational circuits compile; sequential circuits are rejected exactly
-like :class:`~repro.sim.bitsim.BitSimulator` does (levelizing the
-combinational settle of :mod:`repro.sim.seqsim` is a ROADMAP item).
+1. **attached** — the compiled form is stored on the circuit object itself;
+   any structural mutation invalidates it (``Circuit._invalidate``), and
+   ``Circuit.copy()`` carries it over, so unmutated copies share it.
+2. **fingerprint** — a bounded LRU keyed by
+   :meth:`Circuit.structural_fingerprint` catches structurally identical
+   circuits that are *different objects* (edit/revert round-trips in
+   :mod:`repro.core.salvage`, re-parsed netlists).
+3. **patched** — when a circuit was :meth:`~Circuit.copy`-derived from one
+   that is already compiled and differs only by gates tied to TIE0/TIE1
+   (plus dead gates stripped), the ancestor's schedule is *patched*: row
+   order and input-index arrays are shared, the tied rows move from their
+   gate groups to the constant-row lists, and stripped rows simply keep
+   evaluating harmlessly.  This is what makes salvage's per-candidate
+   tie/strip/test trials run without a single cold compile.
+
+``COMPILE_STATS`` counts hits per level so callers (and the perf harness)
+can verify cache behaviour.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -114,10 +136,56 @@ class ConeSchedule:
     site_is_output: bool
 
 
+def _build_row_adjacency(
+    n_nets: int, schedule: List[GateGroup]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR (starts, dst) of the row-level reads-edges of a group schedule."""
+    src_parts: List[np.ndarray] = []
+    dst_parts: List[np.ndarray] = []
+    for group in schedule:
+        n_gates, arity = group.in_idx.shape
+        src_parts.append(group.in_idx.ravel())
+        dst_parts.append(np.repeat(group.out_idx, arity))
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+        order = np.argsort(src, kind="stable")
+        src = src[order]
+        dst = dst[order].astype(np.intp)
+    else:
+        src = np.empty(0, dtype=np.intp)
+        dst = np.empty(0, dtype=np.intp)
+    starts = np.searchsorted(src, np.arange(n_nets + 1)).astype(np.intp)
+    return starts, dst
+
+
 def _evaluate_group(group: GateGroup, values: np.ndarray) -> None:
     """Evaluate one gate group in place on the ``(n_nets, n_words)`` matrix."""
     gt = group.gate_type
     in_idx = group.in_idx
+    if in_idx.shape[0] == 1:
+        # Single-gate group: basic row indexing (views) skips the gather
+        # copies — these groups are ~half the schedule on real circuits, so
+        # the per-group constant factor matters.
+        row = in_idx[0]
+        if gt in _REDUCERS:
+            if row.size == 2:
+                acc = _REDUCERS[gt](values[row[0]], values[row[1]])
+            else:
+                acc = _REDUCERS[gt].reduce(values[row], axis=0)
+            if gt in _INVERTING:
+                np.invert(acc, out=acc)
+        elif gt is GateType.NOT:
+            acc = ~values[row[0]]
+        elif gt is GateType.BUFF:
+            acc = values[row[0]]
+        elif gt is GateType.MUX:
+            d0 = values[row[0]]
+            acc = ((values[row[1]] ^ d0) & values[row[2]]) ^ d0
+        else:  # pragma: no cover - enum is closed
+            raise NetlistError(f"cannot bit-simulate gate type {gt}")
+        values[group.out] = acc
+        return
     if gt in _REDUCERS:
         if in_idx.shape[1] == 2:
             acc = _REDUCERS[gt](values[in_idx[:, 0]], values[in_idx[:, 1]])
@@ -146,21 +214,28 @@ def _evaluate_group(group: GateGroup, values: np.ndarray) -> None:
 
 
 class CompiledCircuit:
-    """A circuit lowered to index arrays and a levelized group schedule."""
+    """A circuit lowered to index arrays and a levelized group schedule.
+
+    Combinational circuits get a pure feed-forward schedule.  Sequential
+    circuits compile as well: DFF output nets are extra *source* rows (the
+    caller loads the flip-flop state before :meth:`run_matrix`), and
+    ``dff_idx``/``dff_d_idx``/``dff_clk_idx`` expose the row triples the
+    edge-driven state update of :meth:`step_sequential` needs.
+    """
 
     def __init__(self, circuit: Circuit) -> None:
-        if circuit.is_sequential:
-            raise NetlistError(
-                f"{circuit.name!r} contains DFFs; the compiled core is combinational"
-            )
-        self.circuit = circuit
+        # Deliberately no reference to ``circuit`` is kept: compiled forms
+        # are shared across circuit objects (fingerprint cache, copies) and
+        # must not pin their source object alive or observe its mutations —
+        # everything needed at runtime is lowered into arrays here.
         levels = circuit.levels()
 
-        # Bucket gates by (level, type, arity); sources (PIs/constants) are
-        # kept apart because they have no evaluation step.
+        # Bucket gates by (level, type, arity); sources (PIs/constants/DFF
+        # outputs) are kept apart because they have no evaluation step.
         sources: List[str] = []
         tie0_nets: List[str] = []
         tie1_nets: List[str] = []
+        dff_nets: List[str] = []
         grouping: Dict[Tuple[int, GateType, int], List[str]] = {}
         for net in circuit.topological_order():
             gate = circuit.gate(net)
@@ -173,6 +248,9 @@ class CompiledCircuit:
             elif gt is GateType.TIE1:
                 sources.append(net)
                 tie1_nets.append(net)
+            elif gt is GateType.DFF:
+                sources.append(net)
+                dff_nets.append(net)
             else:
                 grouping.setdefault((levels[net], gt, len(gate.inputs)), []).append(net)
 
@@ -195,6 +273,20 @@ class CompiledCircuit:
         self.po_set = frozenset(self.output_idx.tolist())
         self.tie0_idx = np.array([self.index[n] for n in tie0_nets], dtype=np.intp)
         self.tie1_idx = np.array([self.index[n] for n in tie1_nets], dtype=np.intp)
+
+        #: Sequential-schedule arrays: one entry per DFF, aligned.  State is a
+        #: ``(n_dffs, n_words)`` matrix the caller owns; ``dff_idx`` are the
+        #: rows the state is loaded into before a settle, ``dff_d_idx`` /
+        #: ``dff_clk_idx`` are the settled rows the edge update reads.
+        self.dff_names: Tuple[str, ...] = tuple(dff_nets)
+        self.dff_idx = np.array([self.index[n] for n in dff_nets], dtype=np.intp)
+        self.dff_d_idx = np.array(
+            [self.index[circuit.gate(n).inputs[0]] for n in dff_nets], dtype=np.intp
+        )
+        self.dff_clk_idx = np.array(
+            [self.index[circuit.gate(n).inputs[1]] for n in dff_nets], dtype=np.intp
+        )
+        self.is_sequential = bool(dff_nets)
 
         #: Per-net (gate_type, input row indices); None for INPUT/TIE rows.
         #: Used by scalar-word fallbacks (e.g. single-block fault simulation).
@@ -221,6 +313,14 @@ class CompiledCircuit:
                     out=slice(start, stop),
                 )
             )
+        # Row-level fanout adjacency in CSR form (``_edge_starts[r] ..
+        # _edge_starts[r+1]`` indexes ``_edge_dst``).  Cone extraction walks
+        # this instead of the Circuit object, so a compiled form shared via
+        # the fingerprint cache stays valid even if the circuit object it was
+        # originally built from is mutated later.
+        self._edge_starts, self._edge_dst = _build_row_adjacency(
+            self.n_nets, self.schedule
+        )
         self._cone_cache: Dict[int, ConeSchedule] = {}
         self._cone_rows_cache: Dict[int, List[int]] = {}
 
@@ -240,6 +340,8 @@ class CompiledCircuit:
             values[self.tie0_idx] = 0
         if self.tie1_idx.size:
             values[self.tie1_idx] = _ALL_ONES
+        if self.dff_idx.size:
+            values[self.dff_idx] = 0  # reset state; quiescent-settle default
         return values
 
     def run_matrix(self, values: np.ndarray) -> np.ndarray:
@@ -260,6 +362,46 @@ class CompiledCircuit:
         return self.run_matrix(values)
 
     # ------------------------------------------------------------------
+    # sequential stepping
+    # ------------------------------------------------------------------
+    def step_sequential(
+        self,
+        values: np.ndarray,
+        state: np.ndarray,
+        prev_clk: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        """Apply one input vector to a sequential circuit, edge-driven.
+
+        ``values`` is a full value matrix with the PI rows already set;
+        ``state`` is the ``(n_dffs, n_words)`` flip-flop state (mutated in
+        place); ``prev_clk`` is the clock snapshot from the previous step, or
+        ``None`` for the first vector (which only establishes the baseline —
+        no edges fire).  Returns the new clock snapshot.
+
+        Semantics match the reference dict engine exactly: settle, then up to
+        ``n_dffs + 2`` ripple passes of (detect rising edges vs. the snapshot,
+        latch ``d`` where an edge fired, snapshot clocks, re-settle if
+        anything fired).
+        """
+        if state.size:
+            values[self.dff_idx] = state
+        self.run_matrix(values)
+        if not self.dff_idx.size:
+            return prev_clk
+        if prev_clk is not None:
+            for _ in range(self.dff_idx.size + 2):
+                clk = values[self.dff_clk_idx]
+                edge = ~prev_clk & clk
+                prev_clk = clk  # fancy-indexed gather is already a fresh array
+                if not edge.any():
+                    break
+                state &= ~edge
+                state |= values[self.dff_d_idx] & edge
+                values[self.dff_idx] = state
+                self.run_matrix(values)
+        return values[self.dff_clk_idx]
+
+    # ------------------------------------------------------------------
     # fault-cone sub-schedules
     # ------------------------------------------------------------------
     def cone_rows(self, net: str) -> List[int]:
@@ -270,10 +412,17 @@ class CompiledCircuit:
         """Row-keyed variant of :meth:`cone_rows` (hot in fault simulation)."""
         cached = self._cone_rows_cache.get(site)
         if cached is None:
-            net = self.order[site]
-            cone = self.circuit.fanout_cone(net)
-            cone.discard(net)
-            cached = sorted(self.index[n] for n in cone)
+            starts, dst = self._edge_starts, self._edge_dst
+            seen = {site}
+            stack = [site]
+            while stack:
+                row = stack.pop()
+                for nxt in dst[starts[row] : starts[row + 1]].tolist():
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            seen.discard(site)
+            cached = sorted(seen)
             self._cone_rows_cache[site] = cached
         return cached
 
@@ -285,17 +434,34 @@ class CompiledCircuit:
             rows = self.cone_rows(net)
             groups: List[GateGroup] = []
             for group in self.schedule:
-                # Each full group owns one contiguous row run, so the cone's
-                # (sorted) member rows inside it form one bisectable span.
-                start, stop = group.out.start, group.out.stop
-                lo = bisect_left(rows, start)
-                hi = bisect_left(rows, stop)
-                if hi == lo:
-                    continue
-                if hi - lo == stop - start:
-                    groups.append(group)
-                    continue
-                keep = np.array(rows[lo:hi], dtype=np.intp) - start
+                if isinstance(group.out, slice):
+                    # Each full group owns one contiguous row run, so the
+                    # cone's (sorted) member rows inside it form one
+                    # bisectable span.
+                    start, stop = group.out.start, group.out.stop
+                    lo = bisect_left(rows, start)
+                    hi = bisect_left(rows, stop)
+                    if hi == lo:
+                        continue
+                    if hi - lo == stop - start:
+                        groups.append(group)
+                        continue
+                    keep = np.array(rows[lo:hi], dtype=np.intp) - start
+                else:
+                    # Patched groups scatter through an index array; select
+                    # cone members by membership in the (sorted) row list.
+                    rows_arr = np.asarray(rows, dtype=np.intp)
+                    pos = np.searchsorted(rows_arr, group.out_idx)
+                    pos_clip = np.minimum(pos, rows_arr.size - 1)
+                    mask = (pos < rows_arr.size) & (
+                        rows_arr[pos_clip] == group.out_idx
+                    ) if rows_arr.size else np.zeros(group.out_idx.size, dtype=bool)
+                    if not mask.any():
+                        continue
+                    if mask.all():
+                        groups.append(group)
+                        continue
+                    keep = np.nonzero(mask)[0]
                 out_idx = group.out_idx[keep]
                 groups.append(
                     GateGroup(
@@ -325,10 +491,205 @@ class CompiledCircuit:
         return values
 
 
+@dataclass
+class CompileStats:
+    """Counters for the three compile-cache levels (see module docstring)."""
+
+    full_compiles: int = 0
+    patched_compiles: int = 0
+    fingerprint_hits: int = 0
+    attached_hits: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "full_compiles": self.full_compiles,
+            "patched_compiles": self.patched_compiles,
+            "fingerprint_hits": self.fingerprint_hits,
+            "attached_hits": self.attached_hits,
+        }
+
+    def delta_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        return {k: v - before.get(k, 0) for k, v in self.snapshot().items()}
+
+
+#: Process-wide compile counters; read with ``COMPILE_STATS.snapshot()``.
+COMPILE_STATS = CompileStats()
+
+#: Fingerprint-keyed LRU of compiled forms shared across circuit *objects*.
+_SHARED_CACHE: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
+_SHARED_CACHE_MAX = 48
+
+#: A patch inherits the ancestor's rows, dead ones included; recompile in
+#: full once the live circuit shrinks below this fraction of the row count
+#: (bounds the wasted evaluation across long accepted-edit chains).
+_PATCH_MIN_LIVE_FRACTION = 0.7
+
+
+def _tie_diff(circuit: Circuit, parent: Circuit) -> Optional[Dict[str, int]]:
+    """Map of nets tied to constants if ``circuit`` is a tie/strip derivative
+    of ``parent``; ``None`` when the edit is not patchable.
+
+    Patchable means: no new nets, no PI changes, every changed driver became
+    TIE0/TIE1, and nothing sequential was touched.  Removed (dead-stripped)
+    nets are implicitly fine — their rows keep evaluating in the parent
+    schedule without affecting any live net.
+    """
+    if circuit._inputs != parent._inputs:
+        return None
+    parent_gates = parent._gates
+    tied: Dict[str, int] = {}
+    for name, gate in circuit._gates.items():
+        old = parent_gates.get(name)
+        if old is None:
+            return None  # new net: structure grew, no patch
+        if old is gate or old == gate:
+            continue
+        if old.is_sequential or gate.is_sequential:
+            return None  # DFF set changed; state rows would be wrong
+        if gate.gate_type is GateType.TIE0:
+            tied[name] = 0
+        elif gate.gate_type is GateType.TIE1:
+            tied[name] = 1
+        else:
+            return None
+    return tied
+
+
+def _build_patched(
+    parent: CompiledCircuit, circuit: Circuit, tied: Dict[str, int]
+) -> CompiledCircuit:
+    """Derive a compiled form for ``circuit`` from an ancestor's schedule.
+
+    Shares the row order, index map, and input-index arrays; the tied nets'
+    rows move from their gate groups to the constant-row lists.  Rows of
+    dead-stripped nets stay in the schedule (their evaluation is wasted but
+    harmless — they read only rows that are still computed).
+    """
+    comp = CompiledCircuit.__new__(CompiledCircuit)
+    comp.order = parent.order
+    comp.index = parent.index
+    comp.n_nets = parent.n_nets
+    comp.input_idx = parent.input_idx
+    comp.output_idx = np.array(
+        [parent.index[po] for po in circuit.outputs], dtype=np.intp
+    )
+    comp.po_set = frozenset(comp.output_idx.tolist())
+    tie0_new = sorted(parent.index[n] for n, v in tied.items() if v == 0)
+    tie1_new = sorted(parent.index[n] for n, v in tied.items() if v == 1)
+    comp.tie0_idx = np.concatenate(
+        [parent.tie0_idx, np.array(tie0_new, dtype=np.intp)]
+    )
+    comp.tie1_idx = np.concatenate(
+        [parent.tie1_idx, np.array(tie1_new, dtype=np.intp)]
+    )
+    comp.dff_names = parent.dff_names
+    comp.dff_idx = parent.dff_idx
+    comp.dff_d_idx = parent.dff_d_idx
+    comp.dff_clk_idx = parent.dff_clk_idx
+    comp.is_sequential = parent.is_sequential
+
+    drop = {parent.index[n] for n in tied}
+    comp.node = list(parent.node)
+    for row in drop:
+        comp.node[row] = None  # now a constant source row
+
+    comp.schedule = []
+    for group in parent.schedule:
+        if isinstance(group.out, slice):
+            hits = [r for r in drop if group.out.start <= r < group.out.stop]
+        else:
+            members = set(group.out_idx.tolist())
+            hits = [r for r in drop if r in members]
+        if not hits:
+            comp.schedule.append(group)
+            continue
+        keep_mask = ~np.isin(group.out_idx, np.array(sorted(hits), dtype=np.intp))
+        if not keep_mask.any():
+            continue
+        out_idx = group.out_idx[keep_mask]
+        comp.schedule.append(
+            GateGroup(
+                level=group.level,
+                gate_type=group.gate_type,
+                out_idx=out_idx,
+                in_idx=group.in_idx[keep_mask],
+                out=out_idx,
+            )
+        )
+
+    # Cut the reads-edges into the tied rows so fault cones no longer pass
+    # through them (edges *out of* a tied row stay — readers still exist).
+    if drop:
+        starts, dst = parent._edge_starts, parent._edge_dst
+        src = np.repeat(np.arange(parent.n_nets, dtype=np.intp), np.diff(starts))
+        keep = ~np.isin(dst, np.array(sorted(drop), dtype=np.intp))
+        src, comp._edge_dst = src[keep], dst[keep]
+        comp._edge_starts = np.searchsorted(
+            src, np.arange(parent.n_nets + 1)
+        ).astype(np.intp)
+    else:
+        comp._edge_starts, comp._edge_dst = parent._edge_starts, parent._edge_dst
+    comp._cone_cache = {}
+    comp._cone_rows_cache = {}
+    return comp
+
+
+def _patch_from_ancestor(circuit: Circuit) -> Optional[CompiledCircuit]:
+    """Try to derive a compiled form from the copy-ancestor chain."""
+    parent = getattr(circuit, "_derived_from", None)
+    for _ in range(8):  # accepted trials re-attach, so real chains are short
+        if parent is None:
+            return None
+        if parent._compiled_cache is not None:
+            break
+        parent = getattr(parent, "_derived_from", None)
+    else:
+        return None
+    parent_compiled: CompiledCircuit = parent._compiled_cache
+    if parent_compiled is None:
+        return None
+    if len(circuit._gates) < _PATCH_MIN_LIVE_FRACTION * parent_compiled.n_nets:
+        return None
+    # The attached compiled form may be shared; diff against the gate map of
+    # the circuit object it is attached to (structurally equal by invariant).
+    tied = _tie_diff(circuit, parent)
+    if tied is None:
+        return None
+    if any(po not in parent_compiled.index for po in circuit.outputs):
+        return None
+    return _build_patched(parent_compiled, circuit, tied)
+
+
 def compile_circuit(circuit: Circuit) -> CompiledCircuit:
-    """Compile ``circuit``, memoizing on the circuit until it is mutated."""
+    """Compile ``circuit`` through the attached / fingerprint / patch caches.
+
+    The result is memoized on the circuit object until it is mutated, and in
+    a bounded fingerprint-keyed LRU shared across circuit objects, so copies
+    and edit/revert round-trips never recompile cold.  Single-gate constant
+    ties (salvage trials) reuse the ancestor's schedule via patching.
+    """
     cached = getattr(circuit, "_compiled_cache", None)
-    if cached is None:
-        cached = CompiledCircuit(circuit)
-        circuit._compiled_cache = cached
+    if cached is not None:
+        COMPILE_STATS.attached_hits += 1
+        return cached
+    fingerprint = circuit.structural_fingerprint()
+    cached = _SHARED_CACHE.get(fingerprint)
+    if cached is not None:
+        COMPILE_STATS.fingerprint_hits += 1
+        _SHARED_CACHE.move_to_end(fingerprint)
+    else:
+        cached = _patch_from_ancestor(circuit)
+        if cached is not None:
+            COMPILE_STATS.patched_compiles += 1
+        else:
+            cached = CompiledCircuit(circuit)
+            COMPILE_STATS.full_compiles += 1
+        _SHARED_CACHE[fingerprint] = cached
+        while len(_SHARED_CACHE) > _SHARED_CACHE_MAX:
+            _SHARED_CACHE.popitem(last=False)
+    circuit._compiled_cache = cached
+    # The ancestor link has served its purpose: patch walks stop at the
+    # first compiled ancestor, so keeping it would only pin the whole copy
+    # chain (one full Circuit per accepted salvage edit) in memory.
+    circuit._derived_from = None
     return cached

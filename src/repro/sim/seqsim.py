@@ -13,19 +13,50 @@ simulator therefore works edge-driven per applied input vector:
 
 Many independent input *sequences* are simulated in parallel, packed 64 per
 uint64 word, which makes Monte-Carlo trigger-probability estimation cheap.
+
+Engine
+------
+:class:`SequentialSimulator` runs on the compiled levelized core of
+:mod:`repro.sim.compiled`: the circuit compiles once into a ``(n_nets,
+n_words)`` value matrix plus a per-(level, type, arity) group schedule in
+which every DFF *output* is a source row alongside the PIs.  A combinational
+settle is then a single :meth:`~repro.sim.compiled.CompiledCircuit.run_matrix`
+call, and the edge detection / state latch of the ripple loop is a few
+vectorized row operations over the ``dff_clk_idx``/``dff_d_idx`` row triples
+(:meth:`~repro.sim.compiled.CompiledCircuit.step_sequential`).  The compiled
+schedule is cached on the circuit (and in the structural-fingerprint cache),
+so every Monte-Carlo session, salvage trial, and functional test over the
+same netlist shares one compile.
+
+Batched extraction: :meth:`SequentialSimulator.run_sequences_nets` packs the
+whole ``(n_seqs, n_steps, n_inputs)`` sequence block with one
+``np.packbits`` call, steps the matrix, gathers only the *watched* net rows
+per step, and unpacks them in a handful of chunked ``np.unpackbits`` calls —
+no per-net, per-step Python bit extraction anywhere.
+
+The pre-compiled per-gate dict interpreter is retained as
+:func:`reference_step_packed` / :class:`ReferenceSequentialSimulator` for
+differential testing and before/after benchmarking; production code should
+use :class:`SequentialSimulator`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..netlist.circuit import Circuit
 from ..netlist.gate import GateType
 from .bitsim import _eval_packed, pack_patterns, unpack_patterns
+from .compiled import CompiledCircuit, compile_circuit
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Word budget for the per-chunk watched-row buffer of
+#: :meth:`SequentialSimulator.run_sequences_nets` (bounds peak memory of the
+#: final unpack at ~64x this many bytes).
+_CHUNK_WORD_BUDGET = 1 << 19
 
 
 class SequentialSimulator:
@@ -37,7 +68,235 @@ class SequentialSimulator:
 
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
-        self._order = circuit.topological_order()
+        self._compiled: CompiledCircuit = compile_circuit(circuit)
+        self._dffs: List[str] = list(self._compiled.dff_names)
+        self._state: Optional[np.ndarray] = None
+        self._prev_clk: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._n_words = 0
+
+    @property
+    def dff_nets(self) -> Tuple[str, ...]:
+        return tuple(self._dffs)
+
+    def reset(self, n_sequences: int) -> None:
+        """Zero all flip-flop states for ``n_sequences`` parallel sequences."""
+        self._n_words = (n_sequences + 63) // 64
+        self._state = np.zeros((len(self._dffs), self._n_words), dtype=np.uint64)
+        self._prev_clk = None
+        self._values = self._compiled.new_matrix(self._n_words)
+
+    def _step_matrix(self, packed_pi_words: np.ndarray) -> np.ndarray:
+        """One vector step on the reusable matrix; returns the settled matrix.
+
+        ``packed_pi_words`` is ``(n_inputs, n_words)``; PI rows are loaded,
+        the combinational schedule settles, and the edge-driven ripple loop
+        updates the flip-flop state in place.
+        """
+        values = self._values
+        if self._compiled.input_idx.size:
+            values[self._compiled.input_idx] = packed_pi_words
+        self._prev_clk = self._compiled.step_sequential(
+            values, self._state, self._prev_clk
+        )
+        return values
+
+    def step_packed(self, packed_inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Apply one input vector (packed across sequences); returns settled nets.
+
+        Compatibility shim around the matrix engine: materializes a
+        net-keyed dict (copies, safe to hold across steps).  Batched callers
+        should prefer :meth:`run_sequences_nets`.
+        """
+        if self._state is None:
+            if self._dffs:
+                raise RuntimeError("call reset() before stepping")
+            n_words = len(next(iter(packed_inputs.values()))) if packed_inputs else 1
+            self.reset(64 * n_words)
+        if self.circuit.inputs:
+            packed = np.stack(
+                [
+                    np.asarray(packed_inputs[pi], dtype=np.uint64)
+                    for pi in self.circuit.inputs
+                ]
+            )
+        else:
+            packed = np.zeros((0, self._n_words), dtype=np.uint64)
+        values = self._step_matrix(packed)
+        index = self._compiled.index
+        return {
+            net: values[index[net]].copy()
+            for net in self._compiled.order
+            if net in self.circuit
+        }
+
+    # ------------------------------------------------------------------
+    # batched sequence APIs
+    # ------------------------------------------------------------------
+    def _check_sequences(self, sequences: np.ndarray) -> np.ndarray:
+        sequences = np.asarray(sequences)
+        if sequences.ndim != 3:
+            raise ValueError(f"sequences must be 3-D, got shape {sequences.shape}")
+        if sequences.shape[2] != len(self.circuit.inputs):
+            raise ValueError(
+                f"expected {len(self.circuit.inputs)} inputs, got {sequences.shape[2]}"
+            )
+        return sequences
+
+    def run_sequences_nets(
+        self, sequences: np.ndarray, nets: Sequence[str]
+    ) -> np.ndarray:
+        """Simulate ``(n_seqs, n_steps, n_inputs)`` watching only ``nets``.
+
+        Returns ``(n_seqs, n_steps, len(nets))`` uint8.  This is the batched
+        workhorse behind :meth:`run_sequences`, :meth:`run_sequence_tracking`,
+        Monte-Carlo Pft estimation, and empirical toggle rates: input packing
+        happens in one vectorized call for the whole block, and the watched
+        rows are unpacked in large step-chunks instead of one bit at a time.
+        """
+        sequences = self._check_sequences(sequences)
+        n_seqs, n_steps, n_inputs = sequences.shape
+        self.reset(n_seqs)
+        n_words = self._n_words
+        rows = np.array(
+            [self._compiled.index[net] for net in nets], dtype=np.intp
+        )
+        out = np.zeros((n_seqs, n_steps, len(nets)), dtype=np.uint8)
+        if n_steps == 0 or n_seqs == 0:
+            return out
+        # One packbits pass for the whole block: steps fold into the signal
+        # axis, giving (n_steps, n_inputs, n_words) packed PI words.
+        packed_steps = pack_patterns(
+            sequences.reshape(n_seqs, n_steps * n_inputs)
+        ).reshape(n_steps, n_inputs, n_words)
+
+        if rows.size == 0:
+            for t in range(n_steps):
+                self._step_matrix(packed_steps[t])
+            return out
+        chunk = max(1, _CHUNK_WORD_BUDGET // (rows.size * max(n_words, 1)))
+        buffer = np.empty((min(chunk, n_steps), rows.size, n_words), dtype=np.uint64)
+        t = 0
+        while t < n_steps:
+            span = min(chunk, n_steps - t)
+            for k in range(span):
+                values = self._step_matrix(packed_steps[t + k])
+                buffer[k] = values[rows]
+            unpacked = unpack_patterns(
+                buffer[:span].reshape(span * rows.size, n_words), n_seqs
+            )
+            out[:, t : t + span, :] = unpacked.reshape(n_seqs, span, rows.size)
+            t += span
+        return out
+
+    def run_sequences(self, sequences: np.ndarray) -> np.ndarray:
+        """Simulate ``(n_seqs, n_steps, n_inputs)``; returns outputs of same rank.
+
+        Returns ``(n_seqs, n_steps, n_outputs)`` uint8.
+        """
+        return self.run_sequences_nets(sequences, self.circuit.outputs)
+
+    def run_sequence_tracking(
+        self, sequence: np.ndarray, watch: List[str]
+    ) -> Dict[str, np.ndarray]:
+        """Simulate a single ``(n_steps, n_inputs)`` sequence, recording ``watch`` nets.
+
+        Returns net -> ``(n_steps,)`` uint8 trace.  Used for trigger analysis
+        and the case-study example.  All watched nets are extracted in one
+        batched unpack (via :meth:`run_sequences_nets`), not one bit per net
+        per step.
+        """
+        sequence = np.atleast_2d(np.asarray(sequence))
+        traces = self.run_sequences_nets(sequence[np.newaxis], list(watch))[0]
+        return {net: traces[:, i].copy() for i, net in enumerate(watch)}
+
+
+# ----------------------------------------------------------------------
+# reference dict engine (pre-compiled implementation, kept for tests)
+# ----------------------------------------------------------------------
+def _reference_settle(
+    circuit: Circuit,
+    packed_inputs: Dict[str, np.ndarray],
+    state: Dict[str, np.ndarray],
+    n_words: int,
+) -> Dict[str, np.ndarray]:
+    """Evaluate every net one dict-gate at a time (the original engine)."""
+    ones = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+    zeros = np.zeros(n_words, dtype=np.uint64)
+    values: Dict[str, np.ndarray] = {}
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        gt = gate.gate_type
+        if gt is GateType.INPUT:
+            values[net] = packed_inputs[net]
+        elif gt is GateType.DFF:
+            values[net] = state[net]
+        elif gt is GateType.TIE0:
+            values[net] = zeros
+        elif gt is GateType.TIE1:
+            values[net] = ones
+        else:
+            values[net] = _eval_packed(gt, [values[i] for i in gate.inputs], ones)
+    return values
+
+
+def reference_step_packed(
+    circuit: Circuit,
+    packed_inputs: Dict[str, np.ndarray],
+    state: Dict[str, np.ndarray],
+    prev_clk: Optional[Dict[str, np.ndarray]],
+    n_words: int,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """One edge-driven vector step of the per-gate dict engine.
+
+    Pure-functional reference for differential tests: takes the flip-flop
+    ``state`` and previous clock snapshot, returns ``(settled values, new
+    state, new clock snapshot)``.  Production code should use
+    :class:`SequentialSimulator`, which is bit-identical but runs on the
+    compiled levelized schedule.
+    """
+    dffs = [g.name for g in circuit.gates() if g.gate_type is GateType.DFF]
+    values = _reference_settle(circuit, packed_inputs, state, n_words)
+    state = dict(state)
+    if dffs:
+        max_ripple = len(dffs) + 2
+        for _ in range(max_ripple):
+            if prev_clk is None:
+                # First vector establishes the clock baseline; no edges fire.
+                break
+            fired = False
+            for dff in dffs:
+                d_net, clk_net = circuit.gate(dff).inputs
+                edge = (prev_clk[dff] ^ _ALL_ONES) & values[clk_net]
+                if edge.any():
+                    fired = True
+                    state[dff] = (state[dff] & (edge ^ _ALL_ONES)) | (
+                        values[d_net] & edge
+                    )
+            # Record clocks *before* re-settle so ripple edges are seen next pass.
+            prev_clk = {
+                dff: values[circuit.gate(dff).inputs[1]].copy() for dff in dffs
+            }
+            if not fired:
+                break
+            values = _reference_settle(circuit, packed_inputs, state, n_words)
+        prev_clk = {
+            dff: values[circuit.gate(dff).inputs[1]].copy() for dff in dffs
+        }
+    return values, state, prev_clk
+
+
+class ReferenceSequentialSimulator:
+    """The original per-gate dict engine behind the same public API.
+
+    Kept verbatim (modulo the pure-functional step extraction) so the
+    differential tests in ``tests/test_seqsim_compiled.py`` and the seqsim
+    "before" timings in ``benchmarks/test_perf_sim.py`` can pit the compiled
+    engine against it.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
         self._dffs: List[str] = [
             g.name for g in circuit.gates() if g.gate_type is GateType.DFF
         ]
@@ -50,105 +309,41 @@ class SequentialSimulator:
         return tuple(self._dffs)
 
     def reset(self, n_sequences: int) -> None:
-        """Zero all flip-flop states for ``n_sequences`` parallel sequences."""
         self._n_words = (n_sequences + 63) // 64
         zeros = np.zeros(self._n_words, dtype=np.uint64)
         self._state = {d: zeros.copy() for d in self._dffs}
         self._prev_clk = None
 
-    def _settle(self, packed_inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Evaluate every net given PIs and current DFF states."""
-        ones = np.full(self._n_words, _ALL_ONES, dtype=np.uint64)
-        zeros = np.zeros(self._n_words, dtype=np.uint64)
-        values: Dict[str, np.ndarray] = {}
-        for net in self._order:
-            gate = self.circuit.gate(net)
-            gt = gate.gate_type
-            if gt is GateType.INPUT:
-                values[net] = packed_inputs[net]
-            elif gt is GateType.DFF:
-                values[net] = self._state[net]
-            elif gt is GateType.TIE0:
-                values[net] = zeros
-            elif gt is GateType.TIE1:
-                values[net] = ones
-            else:
-                values[net] = _eval_packed(gt, [values[i] for i in gate.inputs], ones)
-        return values
-
     def step_packed(self, packed_inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Apply one input vector (packed across sequences); returns settled nets."""
         if not self._state and self._dffs:
             raise RuntimeError("call reset() before stepping")
-        values = self._settle(packed_inputs)
-        if self._dffs:
-            max_ripple = len(self._dffs) + 2
-            for _ in range(max_ripple):
-                if self._prev_clk is None:
-                    # First vector establishes the clock baseline; no edges fire.
-                    break
-                fired = False
-                for dff in self._dffs:
-                    d_net, clk_net = self.circuit.gate(dff).inputs
-                    edge = (self._prev_clk[dff] ^ _ALL_ONES) & values[clk_net]
-                    if edge.any():
-                        fired = True
-                        self._state[dff] = (self._state[dff] & (edge ^ _ALL_ONES)) | (
-                            values[d_net] & edge
-                        )
-                # Record clocks *before* re-settle so ripple edges are seen next pass.
-                self._prev_clk = {
-                    dff: values[self.circuit.gate(dff).inputs[1]].copy()
-                    for dff in self._dffs
-                }
-                if not fired:
-                    break
-                values = self._settle(packed_inputs)
-            self._prev_clk = {
-                dff: values[self.circuit.gate(dff).inputs[1]].copy()
-                for dff in self._dffs
-            }
+        values, self._state, self._prev_clk = reference_step_packed(
+            self.circuit, packed_inputs, self._state, self._prev_clk, self._n_words
+        )
         return values
 
-    def run_sequences(self, sequences: np.ndarray) -> np.ndarray:
-        """Simulate ``(n_seqs, n_steps, n_inputs)``; returns outputs of same rank.
-
-        Returns ``(n_seqs, n_steps, n_outputs)`` uint8.
-        """
+    def run_sequences_nets(
+        self, sequences: np.ndarray, nets: Sequence[str]
+    ) -> np.ndarray:
         sequences = np.asarray(sequences)
-        if sequences.ndim != 3:
-            raise ValueError(f"sequences must be 3-D, got shape {sequences.shape}")
-        n_seqs, n_steps, n_inputs = sequences.shape
-        if n_inputs != len(self.circuit.inputs):
-            raise ValueError(
-                f"expected {len(self.circuit.inputs)} inputs, got {n_inputs}"
-            )
+        n_seqs, n_steps, _ = sequences.shape
         self.reset(n_seqs)
-        outputs = np.zeros((n_seqs, n_steps, len(self.circuit.outputs)), dtype=np.uint8)
+        out = np.zeros((n_seqs, n_steps, len(nets)), dtype=np.uint8)
         for t in range(n_steps):
             packed = pack_patterns(sequences[:, t, :])
             packed_inputs = {pi: packed[i] for i, pi in enumerate(self.circuit.inputs)}
             values = self.step_packed(packed_inputs)
-            out_words = np.stack([values[o] for o in self.circuit.outputs])
-            outputs[:, t, :] = unpack_patterns(out_words, n_seqs)
-        return outputs
+            if nets:
+                words = np.stack([values[net] for net in nets])
+                out[:, t, :] = unpack_patterns(words, n_seqs)
+        return out
+
+    def run_sequences(self, sequences: np.ndarray) -> np.ndarray:
+        return self.run_sequences_nets(sequences, self.circuit.outputs)
 
     def run_sequence_tracking(
         self, sequence: np.ndarray, watch: List[str]
     ) -> Dict[str, np.ndarray]:
-        """Simulate a single ``(n_steps, n_inputs)`` sequence, recording ``watch`` nets.
-
-        Returns net -> ``(n_steps,)`` uint8 trace.  Used for trigger analysis
-        and the case-study example.
-        """
         sequence = np.atleast_2d(np.asarray(sequence))
-        n_steps = sequence.shape[0]
-        self.reset(1)
-        traces = {net: np.zeros(n_steps, dtype=np.uint8) for net in watch}
-        for t in range(n_steps):
-            packed = pack_patterns(sequence[t : t + 1, :])
-            packed_inputs = {pi: packed[i] for i, pi in enumerate(self.circuit.inputs)}
-            values = self.step_packed(packed_inputs)
-            for net in watch:
-                traces[net][t] = int(values[net][0] & np.uint64(1))
-        return traces
+        traces = self.run_sequences_nets(sequence[np.newaxis], list(watch))[0]
+        return {net: traces[:, i].copy() for i, net in enumerate(watch)}

@@ -162,10 +162,16 @@ class TestCompilationCache:
         assert second is not first
         assert "extra" in second.index
 
-    def test_copies_do_not_share_cache(self, c17_circuit):
+    def test_copies_share_cache_until_mutation(self, c17_circuit):
         original = compile_circuit(c17_circuit)
         clone = c17_circuit.copy("clone")
-        assert compile_circuit(clone) is not original
+        assert compile_circuit(clone) is original  # no cold recompile
+        clone.add_gate("extra", GateType.NOT, ("N22",))
+        diverged = compile_circuit(clone)
+        assert diverged is not original
+        assert "extra" in diverged.index
+        # The original circuit's compiled form is untouched by the clone edit.
+        assert compile_circuit(c17_circuit) is original
 
     def test_schedule_covers_every_logic_gate(self, c880_circuit):
         compiled = compile_circuit(c880_circuit)
