@@ -1,26 +1,24 @@
 """Shared fixtures for the benchmark harness.
 
 The full Table-I pipeline is expensive (tens of seconds for the two large
-benchmarks), so the five runs are computed once per session and shared by the
-table/figure benches.
+benchmarks), so the five runs are computed once per session — through the
+declarative :mod:`repro.api` front door — and shared by the table/figure
+benches.  Each cached run is an :class:`repro.api.ExperimentOutcome`, so
+benches can consume either the live :class:`TrojanZeroResult` (circuits,
+detector post-mortems) or the serializable :class:`ExperimentRecord`
+(Table-I reporting).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import BENCHMARKS
+from repro.api import TABLE1_PARAMETERS, ExperimentSpec, execute_experiment
 from repro.core import TrojanZeroPipeline
 from repro.power import tech65_library
 
 #: The paper's Table I parameters: benchmark -> (Pth, counter bits).
-PAPER_PARAMETERS = {
-    "c432": (0.975, 2),
-    "c499": (0.993, 3),
-    "c880": (0.992, 3),
-    "c1908": (0.9986, 5),
-    "c3540": (0.992, 5),
-}
+PAPER_PARAMETERS = TABLE1_PARAMETERS
 
 
 @pytest.fixture(scope="session")
@@ -33,20 +31,35 @@ def pipeline():
     return TrojanZeroPipeline.default()
 
 
-_RESULT_CACHE = {}
+_OUTCOME_CACHE = {}
+
+
+def run_outcome_cached(pipeline, name):
+    """Run (or fetch) the full TrojanZero flow for one paper benchmark."""
+    if name not in _OUTCOME_CACHE:
+        pth, bits = PAPER_PARAMETERS[name]
+        spec = ExperimentSpec(circuit=name, pth=pth, design=f"counter{bits}")
+        _OUTCOME_CACHE[name] = execute_experiment(spec, pipeline=pipeline)
+    return _OUTCOME_CACHE[name]
 
 
 def run_benchmark_cached(pipeline, name):
-    """Run (or fetch) the full TrojanZero flow for one paper benchmark."""
-    if name not in _RESULT_CACHE:
-        pth, bits = PAPER_PARAMETERS[name]
-        _RESULT_CACHE[name] = pipeline.run(
-            BENCHMARKS[name](), p_threshold=pth, counter_bits=bits
-        )
-    return _RESULT_CACHE[name]
+    """The live pipeline result of one cached Table-I run."""
+    return run_outcome_cached(pipeline, name).result
+
+
+def run_record_cached(pipeline, name):
+    """The serializable ExperimentRecord of one cached Table-I run."""
+    return run_outcome_cached(pipeline, name).record
 
 
 @pytest.fixture(scope="session")
 def table1_results(pipeline):
-    """All five Table-I runs, keyed by benchmark name."""
+    """All five Table-I pipeline results, keyed by benchmark name."""
     return {name: run_benchmark_cached(pipeline, name) for name in PAPER_PARAMETERS}
+
+
+@pytest.fixture(scope="session")
+def table1_records(pipeline):
+    """All five Table-I ExperimentRecords, keyed by benchmark name."""
+    return {name: run_record_cached(pipeline, name) for name in PAPER_PARAMETERS}

@@ -1,52 +1,61 @@
 """Table I: TrojanZero analysis for the five ISCAS85-class benchmarks.
 
 One bench per table row.  Each bench runs the complete Fig. 2 flow
-(thresholds -> Algorithm 1 -> Algorithm 2) with the paper's per-circuit
-parameters, times it, prints the row, and asserts the paper's shape:
+(thresholds -> Algorithm 1 -> Algorithm 2) through the declarative
+``repro.api`` front door with the paper's per-circuit parameters, times it,
+prints the row from the structured :class:`repro.api.ExperimentRecord`, and
+asserts the paper's shape:
 
 * insertion succeeds with the paper's counter size;
 * total power and area obey N' < N'' <= N (within 1%);
 * every power component of N'' stays at its HT-free threshold;
-* Pft stays in the paper's sub-1e-3 stealth band.
+* Pft stays in the paper's sub-1e-3 stealth band;
+* the record round-trips through its JSONL serialization.
 """
 
 import pytest
 
-from conftest import PAPER_PARAMETERS, run_benchmark_cached
+from conftest import PAPER_PARAMETERS, run_record_cached
+from repro.api import ExperimentRecord
 from repro.core import TableRow, format_row, format_table
 
 
-def _assert_row_shape(result):
-    assert result.success, result.insertion.attempts[-5:]
-    n = result.power_free
-    n_prime = result.power_modified
-    n_inf = result.power_infected
-    assert n_prime.total_uw < n.total_uw
-    assert n_prime.area_ge < n.area_ge
-    assert n_inf.total_uw <= 1.01 * n.total_uw
-    assert n_inf.area_ge <= 1.01 * n.area_ge
-    assert n_inf.total_uw > n_prime.total_uw
-    assert n_inf.dynamic_uw <= 1.02 * n.dynamic_uw
-    assert n_inf.leakage_uw <= 1.02 * n.leakage_uw
-    assert result.salvage.candidate_count > 0
-    assert result.salvage.expendable_gates > 0
-    assert result.pft is not None and result.pft < 1e-3
+def _assert_record_shape(record):
+    assert record.error is None
+    assert record.success, record.to_json_line()
+    n = record.power["free"]
+    n_prime = record.power["modified"]
+    n_inf = record.power["infected"]
+    assert n_prime["total_uw"] < n["total_uw"]
+    assert n_prime["area_ge"] < n["area_ge"]
+    assert n_inf["total_uw"] <= 1.01 * n["total_uw"]
+    assert n_inf["area_ge"] <= 1.01 * n["area_ge"]
+    assert n_inf["total_uw"] > n_prime["total_uw"]
+    assert n_inf["dynamic_uw"] <= 1.02 * n["dynamic_uw"]
+    assert n_inf["leakage_uw"] <= 1.02 * n["leakage_uw"]
+    assert record.candidates > 0
+    assert record.expendable > 0
+    assert record.pft is not None and record.pft < 1e-3
+    # The record is the serialization boundary: its JSONL payload must
+    # reconstruct bit-identically.
+    round_tripped = ExperimentRecord.from_json_line(record.to_json_line())
+    assert round_tripped.payload_dict() == record.payload_dict()
 
 
 @pytest.mark.parametrize("name", sorted(PAPER_PARAMETERS))
 def test_table1_row(benchmark, pipeline, name):
-    result = benchmark.pedantic(
-        run_benchmark_cached, args=(pipeline, name), rounds=1, iterations=1
+    record = benchmark.pedantic(
+        run_record_cached, args=(pipeline, name), rounds=1, iterations=1
     )
-    _assert_row_shape(result)
+    _assert_record_shape(record)
     print()
-    print(format_row(TableRow.from_result(result)))
+    print(format_row(TableRow.from_record(record)))
 
 
-def test_table1_full(benchmark, table1_results):
+def test_table1_full(benchmark, table1_records):
     """Assemble and print the complete Table I reproduction."""
     rows = benchmark.pedantic(
-        lambda: [TableRow.from_result(r) for r in table1_results.values()],
+        lambda: [TableRow.from_record(r) for r in table1_records.values()],
         rounds=1,
         iterations=1,
     )

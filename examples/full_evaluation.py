@@ -1,28 +1,19 @@
 #!/usr/bin/env python3
 """Regenerate the paper's Table I across all five ISCAS85-class benchmarks.
 
-For each benchmark this runs the complete TrojanZero flow with the paper's
-per-circuit parameters (Pth and counter width from Table I) and prints the
-same columns the paper reports: candidates C, expendable gates Eg, HT size,
-total power and area of the HT-free (N), modified (N') and TZ-infected (N'')
-circuits, and the functional-test trigger probability Pft.
+The declarative way: :meth:`repro.api.CampaignSpec.table1` expands the
+paper's per-circuit parameters (Pth and counter width from Table I) into
+five :class:`repro.api.ExperimentSpec` cells, and each cell evaluates to a
+serializable :class:`repro.api.ExperimentRecord` carrying the same columns
+the paper reports: candidates C, expendable gates Eg, HT size, total power
+and area of the HT-free (N), modified (N') and TZ-infected (N'') circuits,
+and the functional-test trigger probability Pft.
 
 Run:  python examples/full_evaluation.py          (~1 minute)
 """
 
-import time
-
-from repro.bench import BENCHMARKS
-from repro.core import TableRow, TrojanZeroPipeline, format_table
-
-#: The paper's Table I parameters: benchmark -> (Pth, counter bits).
-PAPER_PARAMETERS = {
-    "c432": (0.975, 2),
-    "c499": (0.993, 3),
-    "c880": (0.992, 3),
-    "c1908": (0.9986, 5),
-    "c3540": (0.992, 5),
-}
+from repro.api import CampaignSpec, run_experiment
+from repro.core import TableRow, format_table
 
 #: Paper's reported values for side-by-side comparison.
 PAPER_TABLE1 = {
@@ -35,35 +26,35 @@ PAPER_TABLE1 = {
 
 
 def main() -> None:
-    pipeline = TrojanZeroPipeline.default()
-    rows = []
-    for name, (pth, bits) in PAPER_PARAMETERS.items():
-        start = time.time()
-        result = pipeline.run(BENCHMARKS[name](), p_threshold=pth, counter_bits=bits)
-        rows.append((name, result, time.time() - start))
-        status = "ok" if result.success else "FAILED"
-        print(f"  {name}: {status} [{rows[-1][2]:.1f}s]")
+    records = []
+    for spec in CampaignSpec.table1():
+        record = run_experiment(spec)
+        records.append(record)
+        status = "ok" if record.success else "FAILED"
+        took = record.runtime["timings_s"]["total"]
+        print(f"  {spec.circuit}: {status} [{took:.1f}s]")
 
     print()
-    print(format_table([TableRow.from_result(r) for _, r, _ in rows]))
+    print(format_table([TableRow.from_record(r) for r in records]))
 
     print("\nShape checks against the paper's Table I:")
-    for name, result, _ in rows:
-        paper = PAPER_TABLE1[name]
+    for record in records:
+        paper = PAPER_TABLE1[record.spec.circuit]
+        n = record.power["free"]
+        n_prime = record.power["modified"]
+        n_inf = record.power["infected"]
         ok_order = (
-            result.power_modified.total_uw
-            < result.power_infected.total_uw
-            <= result.power_free.total_uw * 1.01
-            if result.success
+            n_prime["total_uw"] < n_inf["total_uw"] <= n["total_uw"] * 1.01
+            if record.success
             else False
         )
-        ok_pft = result.pft is not None and result.pft < 1e-3
-        ratio_here = result.power_infected.total_uw / result.power_free.total_uw
+        ok_pft = record.pft is not None and record.pft < 1e-3
+        ratio_here = n_inf["total_uw"] / n["total_uw"]
         ratio_paper = paper["PNpp"] / paper["PN"]
         print(
-            f"  {name}: N'<N''<=N {'yes' if ok_order else 'NO'} | "
+            f"  {record.spec.circuit}: N'<N''<=N {'yes' if ok_order else 'NO'} | "
             f"P(N'')/P(N) = {ratio_here:.3f} (paper {ratio_paper:.3f}) | "
-            f"Pft {result.pft:.1e} (paper {paper['Pft']:.1e}) "
+            f"Pft {record.pft:.1e} (paper {paper['Pft']:.1e}) "
             f"{'< 1e-3 ok' if ok_pft else 'VIOLATION'}"
         )
 

@@ -19,6 +19,6 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import atpg, bench, netlist, power, prob, sim  # noqa: F401
+from . import api, atpg, bench, netlist, power, prob, sim  # noqa: F401
 
-__all__ = ["atpg", "bench", "netlist", "power", "prob", "sim", "__version__"]
+__all__ = ["api", "atpg", "bench", "netlist", "power", "prob", "sim", "__version__"]

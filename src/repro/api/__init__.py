@@ -1,0 +1,64 @@
+"""Declarative experiment API — the front door of the reproduction.
+
+Specs (:class:`ExperimentSpec`, :class:`CampaignSpec`) describe *what* to
+run; registries (:data:`CIRCUITS`, :data:`TROJAN_DESIGNS`, :data:`DETECTORS`)
+resolve names to substrates; the runner (:func:`run_experiment`,
+:class:`CampaignRunner`) turns specs into serializable
+:class:`ExperimentRecord` s, optionally sharded across worker processes with
+JSONL streaming and resume.
+
+Quickstart::
+
+    from repro.api import CampaignSpec, run_campaign
+
+    campaign = CampaignSpec.sweep(
+        circuits=["c432", "c880"], pths=[0.975, 0.992], seeds=[0]
+    )
+    result = run_campaign(campaign, jobs=2, out="results.jsonl")
+    for record in result.records:
+        print(record.benchmark, record.spec.pth, record.success, record.pft)
+"""
+
+from .registry import (
+    CIRCUITS,
+    DETECTORS,
+    TROJAN_DESIGNS,
+    Registry,
+    resolve_circuit,
+    resolve_designs,
+)
+from .runner import (
+    RECORD_SCHEMA_VERSION,
+    CampaignResult,
+    CampaignRunner,
+    ExperimentOutcome,
+    ExperimentRecord,
+    detect_seed_for,
+    execute_experiment,
+    load_records,
+    run_campaign,
+    run_experiment,
+)
+from .spec import TABLE1_PARAMETERS, CampaignSpec, ExperimentSpec
+
+__all__ = [
+    "Registry",
+    "CIRCUITS",
+    "TROJAN_DESIGNS",
+    "DETECTORS",
+    "resolve_circuit",
+    "resolve_designs",
+    "ExperimentSpec",
+    "CampaignSpec",
+    "TABLE1_PARAMETERS",
+    "ExperimentRecord",
+    "ExperimentOutcome",
+    "CampaignRunner",
+    "CampaignResult",
+    "run_experiment",
+    "execute_experiment",
+    "run_campaign",
+    "load_records",
+    "detect_seed_for",
+    "RECORD_SCHEMA_VERSION",
+]

@@ -1,0 +1,164 @@
+"""Named registries for circuits, trojan designs, and detector suites.
+
+A spec references everything by *name*; this module owns the name → object
+mapping.  Adding a new benchmark substrate, HT design, or detector suite is
+one ``@register`` call instead of CLI surgery::
+
+    from repro.api import CIRCUITS
+
+    @CIRCUITS.register("my_soc")
+    def my_soc():
+        return build_my_soc_circuit()
+
+:func:`resolve_circuit` is the single resolution path for the whole repo
+(library, CLI, and campaign runner alike): built-in benchmark names from
+``repro.bench.BENCHMARKS`` — which now includes the former CLI-private
+``c17``/``c1355``/``c6288`` extras — plus anything registered here, plus
+ISCAS ``.bench`` file paths.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..bench import BENCHMARKS, load_bench
+from ..detect import EvasionReport, evasion_experiment
+from ..netlist.circuit import Circuit
+from ..power.library import CellLibrary
+from ..trojan.library import TrojanDesign, default_trojan_library
+
+
+class Registry:
+    """A named collection with a ``@register`` decorator."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, Any] = {}
+
+    def register(self, name: str, obj: Any = None):
+        """Register ``obj`` under ``name``; usable as a decorator when ``obj``
+        is omitted.  Re-registering a name overwrites it (latest wins)."""
+        if obj is not None:
+            self._entries[name] = obj
+            return obj
+
+        def decorator(value):
+            self._entries[name] = value
+            return value
+
+        return decorator
+
+    def get(self, name: str) -> Any:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Circuit factories: name -> () -> Circuit.
+CIRCUITS = Registry("circuit")
+
+#: Trojan designs: name -> TrojanDesign (or a list of them, tried in order).
+TROJAN_DESIGNS = Registry("trojan design")
+
+#: Detector suites: name -> callable(golden, infected, library, *,
+#: additive_gates, n_chips, seed) -> EvasionReport.
+DETECTORS = Registry("detector suite")
+
+
+for _name, _factory in BENCHMARKS.items():
+    CIRCUITS.register(_name, _factory)
+
+for _design in default_trojan_library():
+    TROJAN_DESIGNS.register(_design.name, _design)
+
+
+def _mode_detector(mode: str):
+    def run(
+        golden: Circuit,
+        infected: Circuit,
+        library: CellLibrary,
+        *,
+        additive_gates: int = 16,
+        n_chips: int = 30,
+        seed: int = 37,
+    ) -> EvasionReport:
+        return evasion_experiment(
+            golden,
+            infected,
+            library,
+            additive_gates=additive_gates,
+            n_chips=n_chips,
+            seed=seed,
+            mode=mode,
+        )
+
+    run.__name__ = f"{mode}_detector_suite"
+    return run
+
+
+DETECTORS.register("paper", _mode_detector("paper"))
+DETECTORS.register("structural", _mode_detector("structural"))
+
+
+_SIZED_DESIGN = re.compile(r"^(counter|comb)(\d+)$")
+
+
+def circuit_ref_known(ref: str) -> bool:
+    """Cheap existence check (no circuit construction): registered name or
+    an existing file path."""
+    return ref in CIRCUITS or Path(ref).exists()
+
+
+def ensure_circuit_ref(ref: str) -> None:
+    """Raise the canonical unknown-circuit error unless ``ref`` resolves."""
+    if not circuit_ref_known(ref):
+        raise ValueError(
+            f"unknown circuit {ref!r}: not a registered benchmark "
+            f"({', '.join(CIRCUITS.names())}) and no such file"
+        )
+
+
+def resolve_circuit(ref: str) -> Circuit:
+    """Resolve a circuit reference: registry name or ``.bench`` file path."""
+    ensure_circuit_ref(ref)
+    if ref in CIRCUITS:
+        return CIRCUITS.get(ref)()
+    return load_bench(Path(ref))
+
+
+def resolve_designs(ref: Optional[str]) -> Optional[List[TrojanDesign]]:
+    """Resolve a trojan design reference to the list Algorithm 2 will try.
+
+    ``None`` means "attacker's choice": the full default library, largest
+    design first.  Unregistered ``counterN``/``combN`` names instantiate
+    parametrically, so e.g. ``counter7`` works without prior registration.
+    """
+    if ref is None:
+        return None
+    if ref in TROJAN_DESIGNS:
+        entry = TROJAN_DESIGNS.get(ref)
+        return list(entry) if isinstance(entry, (list, tuple)) else [entry]
+    match = _SIZED_DESIGN.match(ref)
+    if match:
+        return [TrojanDesign(ref, match.group(1), int(match.group(2)))]
+    raise ValueError(
+        f"unknown trojan design {ref!r}; registered: {TROJAN_DESIGNS.names()} "
+        "(or parametric counterN / combN)"
+    )

@@ -1,0 +1,457 @@
+"""Experiment execution: specs in, structured serializable records out.
+
+:func:`run_experiment` evaluates one :class:`~repro.api.spec.ExperimentSpec`
+into an :class:`ExperimentRecord` — a JSON-native result carrying the power
+triple (N / N' / N''), salvage and zero-footprint deltas, Pft (analytic and
+Monte-Carlo), detector verdicts, and timings.  :class:`CampaignRunner`
+executes a :class:`~repro.api.spec.CampaignSpec` serially or across a
+``ProcessPoolExecutor``, streaming records to a JSONL file as cells finish
+and skipping already-recorded cells on ``resume``.
+
+Determinism and parity
+----------------------
+Everything that lands in :meth:`ExperimentRecord.payload_dict` is a pure
+function of the spec: two runs of the same spec — in one process or sharded
+across workers — produce bit-identical payloads.  Execution artifacts that
+legitimately differ between runs (wall-clock timings, structural
+compile-cache counters, worker id) live under :attr:`ExperimentRecord.
+runtime` and are excluded from the payload.
+
+Cells are dispatched circuit-major, so same-benchmark cells drain through
+the pool together and each worker reuses its process-global structural
+compile cache of :mod:`repro.sim.compiled` — a worker compiles a given
+circuit at most once per campaign instead of cold per cell.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..core.pipeline import (
+    SEED_DETECT,
+    TrojanZeroPipeline,
+    TrojanZeroResult,
+    derive_seed,
+)
+from ..detect import EvasionReport
+from ..power.analysis import PowerDelta, PowerReport
+from .registry import DETECTORS, resolve_circuit, resolve_designs
+from .spec import CampaignSpec, ExperimentSpec, _check_known_keys
+
+#: Bump when ExperimentRecord's serialized layout changes incompatibly.
+RECORD_SCHEMA_VERSION = 1
+
+
+def _power_dict(report: Optional[PowerReport]) -> Optional[Dict[str, float]]:
+    if report is None:
+        return None
+    return {
+        "total_uw": report.total_uw,
+        "dynamic_uw": report.dynamic_uw,
+        "leakage_uw": report.leakage_uw,
+        "area_um2": report.area_um2,
+        "area_ge": report.area_ge,
+    }
+
+
+def _delta_dict(delta: Optional[PowerDelta]) -> Optional[Dict[str, float]]:
+    if delta is None:
+        return None
+    return {
+        "total_uw": delta.total_uw,
+        "dynamic_uw": delta.dynamic_uw,
+        "leakage_uw": delta.leakage_uw,
+        "area_ge": delta.area_ge,
+        "area_um2": delta.area_um2,
+    }
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """Fully serializable result of one experiment cell.
+
+    The *payload* (everything except :attr:`runtime`) is deterministic given
+    the spec; :attr:`runtime` holds execution artifacts (timings, compile
+    cache counters) that may differ between otherwise identical runs.
+    """
+
+    spec: ExperimentSpec
+    schema: int = RECORD_SCHEMA_VERSION
+    benchmark: str = ""
+    success: bool = False
+    gates: int = 0
+    inputs: int = 0
+    candidates: int = 0
+    expendable: int = 0
+    accepted_edits: int = 0
+    design: Optional[str] = None
+    victim: Optional[str] = None
+    #: ``{"free": {...}, "modified": {...}, "infected": {...}|None}`` power/
+    #: area characterizations of N, N', N''.
+    power: Dict[str, Optional[Dict[str, float]]] = field(default_factory=dict)
+    #: Salvaged budget ΔP/ΔA = N − N'.
+    delta_salvage: Optional[Dict[str, float]] = None
+    #: Zero-footprint differential ΔP(TZ)/ΔA(TZ) = N − N''.
+    delta_tz: Optional[Dict[str, float]] = None
+    #: Trigger characterization (clock source, p_edge, Pft analytic + MC).
+    trigger: Optional[Dict[str, Any]] = None
+    #: Detector verdicts when the spec names a detector suite.
+    detection: Optional[Dict[str, Any]] = None
+    #: Set when the cell raised instead of completing; payload fields above
+    #: are then defaults.
+    error: Optional[str] = None
+    #: Execution artifacts — excluded from :meth:`payload_dict`.
+    runtime: Dict[str, Any] = field(default_factory=dict)
+
+    # -- convenience ---------------------------------------------------
+    @property
+    def pft(self) -> Optional[float]:
+        return self.trigger.get("pft_analytic") if self.trigger else None
+
+    @property
+    def pft_monte_carlo(self) -> Optional[float]:
+        return self.trigger.get("pft_monte_carlo") if self.trigger else None
+
+    def evades(self) -> Optional[bool]:
+        return self.detection.get("evades") if self.detection else None
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_run(
+        cls,
+        spec: ExperimentSpec,
+        result: TrojanZeroResult,
+        evasion: Optional[EvasionReport] = None,
+        runtime: Optional[Dict[str, Any]] = None,
+    ) -> "ExperimentRecord":
+        """Flatten a live pipeline result (and optional detection report)
+        into the serializable record."""
+        trigger = None
+        if result.trigger is not None:
+            t = result.trigger
+            trigger = {
+                "clock_source": t.clock_source,
+                "p_edge": t.p_edge,
+                "counter_bits": t.counter_bits,
+                "edges_to_fire": t.edges_to_fire,
+                "test_vectors": t.test_vectors,
+                "pft_analytic": t.pft_analytic,
+                "pft_monte_carlo": t.pft_monte_carlo,
+            }
+        detection = None
+        if evasion is not None:
+            detection = {
+                "suite": spec.detector,
+                "golden_rates": dict(evasion.golden_rates),
+                "additive_rates": dict(evasion.additive_rates),
+                "trojanzero_rates": dict(evasion.trojanzero_rates),
+                "additive_overhead_pct": evasion.additive_overhead_pct,
+                "trojanzero_overhead_pct": evasion.trojanzero_overhead_pct,
+                "evades": evasion.trojanzero_evades(),
+                "additive_detected": evasion.additive_detected(),
+            }
+        run_stats = dict(runtime or {})
+        run_stats["compile_stats"] = dict(result.salvage.compile_stats)
+        return cls(
+            spec=spec,
+            benchmark=result.benchmark,
+            success=result.success,
+            gates=result.salvage.original.num_logic_gates,
+            inputs=len(result.thresholds.circuit.inputs),
+            candidates=result.salvage.candidate_count,
+            expendable=result.salvage.expendable_gates,
+            accepted_edits=len(result.salvage.accepted_removals()),
+            design=result.insertion.design.name if result.success else None,
+            victim=result.insertion.victim if result.success else None,
+            power={
+                "free": _power_dict(result.power_free),
+                "modified": _power_dict(result.power_modified),
+                "infected": _power_dict(result.power_infected),
+            },
+            delta_salvage=_delta_dict(result.salvage.delta),
+            delta_tz=_delta_dict(result.delta_tz),
+            trigger=trigger,
+            detection=detection,
+            runtime=run_stats,
+        )
+
+    @classmethod
+    def failed(cls, spec: ExperimentSpec, error: str) -> "ExperimentRecord":
+        return cls(spec=spec, error=error)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["spec"] = self.spec.to_dict()
+        return data
+
+    def payload_dict(self) -> dict:
+        """The deterministic portion of the record (no execution artifacts)."""
+        data = self.to_dict()
+        data.pop("runtime")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentRecord":
+        _check_known_keys(cls, data)
+        if "spec" not in data:
+            raise ValueError("ExperimentRecord: missing required key 'spec'")
+        payload = dict(data)
+        payload["spec"] = ExperimentSpec.from_dict(payload["spec"])
+        return cls(**payload)
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "ExperimentRecord":
+        return cls.from_dict(json.loads(line))
+
+
+@dataclass
+class ExperimentOutcome:
+    """In-memory outcome: the record plus the live (non-serializable)
+    pipeline result, for callers that need circuits (CLI ``--output``,
+    report printing, detection post-mortems)."""
+
+    record: ExperimentRecord
+    result: TrojanZeroResult
+    evasion: Optional[EvasionReport] = None
+
+
+def detect_seed_for(seed: Optional[int]) -> int:
+    """Detector-suite seed derived from a master experiment seed (legacy
+    fixed seed when the spec has none)."""
+    return 37 if seed is None else derive_seed(seed, SEED_DETECT)
+
+
+def execute_experiment(
+    spec: ExperimentSpec,
+    pipeline: Optional[TrojanZeroPipeline] = None,
+) -> ExperimentOutcome:
+    """Run one cell, returning the record *and* the live pipeline result."""
+    pipeline = pipeline or TrojanZeroPipeline.default()
+    circuit = resolve_circuit(spec.circuit)
+    designs = resolve_designs(spec.design)
+    t0 = time.perf_counter()
+    result = pipeline.run(
+        circuit,
+        p_threshold=spec.pth,
+        designs=designs,
+        max_candidates=spec.max_candidates,
+        monte_carlo_sessions=spec.mc_sessions,
+        seed=spec.seed,
+    )
+    t_pipeline = time.perf_counter() - t0
+    evasion: Optional[EvasionReport] = None
+    t_detect = 0.0
+    if spec.detector is not None and result.success:
+        suite = DETECTORS.get(spec.detector)
+        t1 = time.perf_counter()
+        evasion = suite(
+            result.thresholds.circuit,
+            result.insertion.infected,
+            pipeline.library,
+            additive_gates=spec.additive_gates,
+            n_chips=spec.detector_chips,
+            seed=detect_seed_for(spec.seed),
+        )
+        t_detect = time.perf_counter() - t1
+    runtime = {
+        "timings_s": {
+            "pipeline": round(t_pipeline, 6),
+            "detect": round(t_detect, 6),
+            "total": round(time.perf_counter() - t0, 6),
+        }
+    }
+    record = ExperimentRecord.from_run(spec, result, evasion, runtime)
+    return ExperimentOutcome(record=record, result=result, evasion=evasion)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    pipeline: Optional[TrojanZeroPipeline] = None,
+) -> ExperimentRecord:
+    """Run one cell and return its serializable record."""
+    return execute_experiment(spec, pipeline=pipeline).record
+
+
+def _run_cell(spec: ExperimentSpec) -> ExperimentRecord:
+    """One campaign cell: never raises — exceptions become error records."""
+    try:
+        return run_experiment(spec)
+    except Exception as exc:  # noqa: BLE001 — a bad cell must not kill the sweep
+        return ExperimentRecord.failed(spec, f"{type(exc).__name__}: {exc}")
+
+
+def _campaign_worker(spec_dict: dict) -> dict:
+    """Picklable worker entry: dict in, dict out (specs/records cross the
+    process boundary as JSON-native dicts)."""
+    return _run_cell(ExperimentSpec.from_dict(spec_dict)).to_dict()
+
+
+def load_records(
+    path: Union[str, Path], strict: bool = True
+) -> List[ExperimentRecord]:
+    """Parse a JSONL results file; ``strict`` raises on any invalid line,
+    otherwise invalid lines are skipped."""
+    records: List[ExperimentRecord] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(ExperimentRecord.from_json_line(line))
+        except (ValueError, TypeError, KeyError) as exc:
+            if strict:
+                raise ValueError(f"{path}:{lineno}: invalid record: {exc}") from exc
+    return records
+
+
+def _missing_trailing_newline(path: Path) -> bool:
+    try:
+        if path.stat().st_size == 0:
+            return False
+    except OSError:
+        return False
+    with open(path, "rb") as f:
+        f.seek(-1, 2)
+        return f.read(1) != b"\n"
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :meth:`CampaignRunner.run` call."""
+
+    records: List[ExperimentRecord]
+    #: Cell ids skipped because a record already existed (``resume``).
+    skipped: List[str] = field(default_factory=list)
+    out_path: Optional[str] = None
+
+    @property
+    def errors(self) -> List[ExperimentRecord]:
+        return [r for r in self.records if r.error is not None]
+
+    @property
+    def succeeded(self) -> List[ExperimentRecord]:
+        return [r for r in self.records if r.error is None and r.success]
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.records)} cells run",
+            f"{len(self.succeeded)} insertions succeeded",
+            f"{len(self.errors)} errors",
+        ]
+        if self.skipped:
+            parts.append(f"{len(self.skipped)} skipped (resume)")
+        if self.out_path:
+            parts.append(f"records -> {self.out_path}")
+        return ", ".join(parts)
+
+
+@dataclass
+class CampaignRunner:
+    """Execute a :class:`CampaignSpec`, serially or across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``<= 1`` runs in-process (and preserves campaign
+        order in the JSONL output).
+    out:
+        JSONL path records are appended to as cells complete.
+    resume:
+        Skip cells whose :meth:`~repro.api.spec.ExperimentSpec.cell_id`
+        already appears in ``out``.
+    """
+
+    campaign: CampaignSpec
+    jobs: int = 1
+    out: Optional[Union[str, Path]] = None
+    resume: bool = False
+
+    def run(
+        self, progress: Optional[Callable[[ExperimentRecord], None]] = None
+    ) -> CampaignResult:
+        if self.resume and self.out is None:
+            raise ValueError("resume requires an output JSONL path")
+        done_ids = set()
+        if self.resume and Path(self.out).exists():
+            # Error records do not count as done: a cell that raised (worker
+            # death, transient I/O failure) must re-run on resume, exactly
+            # like a crash-truncated line.
+            done_ids = {
+                rec.spec.cell_id()
+                for rec in load_records(self.out, strict=False)
+                if rec.error is None
+            }
+        pending = [
+            spec for spec in self.campaign if spec.cell_id() not in done_ids
+        ]
+        skipped = [
+            spec.cell_id() for spec in self.campaign if spec.cell_id() in done_ids
+        ]
+
+        sink = None
+        if self.out is not None:
+            out_path = Path(self.out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            sink = open(self.out, "a", encoding="utf-8")
+            if _missing_trailing_newline(out_path):
+                # A crash-truncated partial line must not swallow the first
+                # record this run appends; terminate it so the bad line stays
+                # isolated (strict=False parsing skips it, the cell re-runs).
+                sink.write("\n")
+        records: List[ExperimentRecord] = []
+        try:
+            for record in self._iter_records(pending):
+                records.append(record)
+                if sink is not None:
+                    sink.write(record.to_json_line() + "\n")
+                    sink.flush()
+                if progress is not None:
+                    progress(record)
+        finally:
+            if sink is not None:
+                sink.close()
+        return CampaignResult(
+            records=records,
+            skipped=skipped,
+            out_path=str(self.out) if self.out is not None else None,
+        )
+
+    def _iter_records(self, pending: List[ExperimentSpec]):
+        if self.jobs <= 1 or len(pending) <= 1:
+            for spec in pending:
+                yield _run_cell(spec)
+            return
+        # One future per cell, yielded in completion order, so JSONL
+        # streaming / crash resume / progress are per cell and slow cells
+        # don't serialize behind a chunk.  Submission stays circuit-major:
+        # adjacent same-circuit cells drain through the pool while that
+        # circuit's compiled schedule is warm in at least one worker (the
+        # fingerprint-keyed cache is process-global, so each worker compiles
+        # a given circuit at most once per campaign).
+        ordered = sorted(pending, key=lambda s: s.circuit)
+        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+            futures = [
+                executor.submit(_campaign_worker, spec.to_dict())
+                for spec in ordered
+            ]
+            for future in as_completed(futures):
+                yield ExperimentRecord.from_dict(future.result())
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    jobs: int = 1,
+    out: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[ExperimentRecord], None]] = None,
+) -> CampaignResult:
+    """One-call convenience wrapper around :class:`CampaignRunner`."""
+    return CampaignRunner(campaign, jobs=jobs, out=out, resume=resume).run(progress)

@@ -1,0 +1,214 @@
+"""Declarative experiment specifications.
+
+One cell of the paper's evaluation grid — benchmark x Pth x trojan design x
+detector mode (Table I, Fig. 3, Fig. 7) — is an :class:`ExperimentSpec`; a
+whole sweep is a :class:`CampaignSpec`.  Both are frozen dataclasses that
+round-trip losslessly through ``to_dict``/``from_dict`` (JSON-native values
+only), so campaigns can be written to disk, shipped to worker processes, and
+diffed between runs.  The stable :meth:`ExperimentSpec.cell_id` string keys
+resume bookkeeping in :mod:`repro.api.runner`.
+
+References (``circuit``, ``design``, ``detector``) are *names*, resolved at
+run time against the registries in :mod:`repro.api.registry` — a spec never
+holds a live circuit or detector object.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+#: Table I per-benchmark parameters: registry name -> (Pth, counter bits).
+TABLE1_PARAMETERS: Dict[str, Tuple[float, int]] = {
+    "c432": (0.975, 2),
+    "c499": (0.993, 3),
+    "c880": (0.992, 3),
+    "c1908": (0.9986, 5),
+    "c3540": (0.992, 5),
+}
+
+
+def _check_known_keys(cls, data: dict) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__}: unknown keys {unknown}; known keys: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of the evaluation grid, fully declarative and serializable.
+
+    Attributes
+    ----------
+    circuit:
+        Registry name (``c17`` ... ``c6288``) or a ``.bench`` file path,
+        resolved by :func:`repro.api.registry.resolve_circuit`.
+    pth:
+        Algorithm 1's rare-node threshold Pth.
+    design:
+        Trojan design reference (e.g. ``counter3``, ``comb2``) resolved by
+        :func:`repro.api.registry.resolve_designs`; ``None`` tries the whole
+        default HT library, largest design first.
+    seed:
+        Master seed threaded to *every* RNG draw of the run (ATPG pattern
+        fill, bespoke defender vectors, Monte-Carlo Pft sessions, detector
+        variation models).  ``None`` keeps the legacy per-module fixed seeds
+        (still deterministic, but not independently re-seedable).
+    mc_sessions:
+        Monte-Carlo Pft validation sessions (0 = analytic Pft only).
+    detector:
+        Detector-suite reference (``paper`` or ``structural``) resolved by
+        :data:`repro.api.registry.DETECTORS`; ``None`` skips the evasion
+        experiment.
+    """
+
+    circuit: str
+    pth: float = 0.992
+    design: Optional[str] = None
+    seed: Optional[int] = None
+    mc_sessions: int = 0
+    detector: Optional[str] = None
+    detector_chips: int = 30
+    additive_gates: int = 16
+    max_candidates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.5 < self.pth <= 1.0:
+            raise ValueError(f"pth must be in (0.5, 1.0], got {self.pth}")
+        if self.mc_sessions < 0:
+            raise ValueError(f"mc_sessions must be >= 0, got {self.mc_sessions}")
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- identity ------------------------------------------------------
+    def cell_id(self) -> str:
+        """Stable, human-readable key for resume/dedup bookkeeping."""
+        d = self.to_dict()
+        return "|".join(f"{k}={d[k]}" for k in sorted(d))
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """A copy with some fields replaced (specs are frozen)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """An ordered list of experiment cells plus expansion helpers."""
+
+    name: str
+    experiments: Tuple[ExperimentSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.experiments)
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self.experiments)
+
+    # -- builders ------------------------------------------------------
+    @classmethod
+    def table1(
+        cls,
+        seed: Optional[int] = None,
+        mc_sessions: int = 0,
+        detector: Optional[str] = None,
+        detector_chips: int = 30,
+        additive_gates: int = 16,
+    ) -> "CampaignSpec":
+        """The paper's Table I grid: five benchmarks at their published
+        (Pth, counter-bits) operating points."""
+        cells = tuple(
+            ExperimentSpec(
+                circuit=name,
+                pth=pth,
+                design=f"counter{bits}",
+                seed=seed,
+                mc_sessions=mc_sessions,
+                detector=detector,
+                detector_chips=detector_chips,
+                additive_gates=additive_gates,
+            )
+            for name, (pth, bits) in TABLE1_PARAMETERS.items()
+        )
+        return cls(name="table1", experiments=cells)
+
+    @classmethod
+    def sweep(
+        cls,
+        circuits: Sequence[str],
+        pths: Sequence[float],
+        designs: Sequence[Optional[str]] = (None,),
+        seeds: Sequence[Optional[int]] = (None,),
+        detectors: Sequence[Optional[str]] = (None,),
+        mc_sessions: int = 0,
+        detector_chips: int = 30,
+        additive_gates: int = 16,
+        max_candidates: Optional[int] = None,
+        name: str = "sweep",
+    ) -> "CampaignSpec":
+        """Cartesian-product grid, circuit-major so that consecutive cells
+        share a circuit (and thus a warm structural compile cache) within
+        each campaign worker."""
+        cells = tuple(
+            ExperimentSpec(
+                circuit=circuit,
+                pth=pth,
+                design=design,
+                seed=seed,
+                mc_sessions=mc_sessions,
+                detector=detector,
+                detector_chips=detector_chips,
+                additive_gates=additive_gates,
+                max_candidates=max_candidates,
+            )
+            for circuit, design, detector, seed, pth in itertools.product(
+                circuits, designs, detectors, seeds, pths
+            )
+        )
+        return cls(name=name, experiments=cells)
+
+    @classmethod
+    def of(cls, experiments: Iterable[ExperimentSpec], name: str = "campaign") -> "CampaignSpec":
+        return cls(name=name, experiments=tuple(experiments))
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "experiments": [spec.to_dict() for spec in self.experiments],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        _check_known_keys(cls, data)
+        return cls(
+            name=data["name"],
+            experiments=tuple(
+                ExperimentSpec.from_dict(d) for d in data["experiments"]
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))

@@ -14,6 +14,12 @@ from .iscas_like import (
 )
 from .parser import BenchParseError, load_bench, parse_bench, save_bench, write_bench
 
+# The full benchmark registry: the five Table-I circuits (registered in
+# iscas_like) plus the exact c17 and the extension circuits.  These used to
+# live in a CLI-private dict, invisible to library users; every consumer
+# (CLI, repro.api registries, build_benchmark) now resolves through here.
+BENCHMARKS.update({"c17": c17, "c1355": c1355_like, "c6288": c6288_like})
+
 __all__ = [
     "parse_bench",
     "load_bench",

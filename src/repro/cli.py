@@ -1,81 +1,230 @@
 """Command-line interface: ``python -m repro <command>``.
 
+The CLI is a thin layer over the declarative experiment API of
+:mod:`repro.api`: each attack-flow command builds an
+:class:`~repro.api.ExperimentSpec` (or a :class:`~repro.api.CampaignSpec`
+grid), hands it to the runner, and formats the returned
+:class:`~repro.api.ExperimentRecord`.  Any cell the CLI can run is therefore
+also available programmatically, serializable to JSON, and shardable across
+worker processes.
+
 Commands
 --------
-``attack``     run the full TrojanZero flow on a benchmark (or .bench file)
+``attack``     run the full TrojanZero flow on one benchmark (one spec)
+``campaign``   run a benchmark x Pth x design grid, serially or ``--jobs N``
+               in parallel, streaming JSONL records with ``--resume`` support
 ``table1``     regenerate the paper's Table I across all five benchmarks
+``detect``     run the evasion experiment on a benchmark
 ``atpg``       run the defender's ATPG on a circuit and report coverage
 ``prob``       report rare nodes at a probability threshold
 ``power``      report power/area of a circuit under the 65nm-class model
-``detect``     run the evasion experiment on a benchmark
 ``equiv``      SAT equivalence check between two .bench files
 
-Every command accepts either a built-in benchmark name (c432, c499, c880,
-c1355, c1908, c3540, c6288) or a path to an ISCAS ``.bench`` file.
+Circuit arguments accept any name in the :data:`repro.api.CIRCUITS` registry
+(c17, c432, c499, c880, c1355, c1908, c3540, c6288, plus anything registered
+at runtime) or a path to an ISCAS ``.bench`` file.  ``attack``, ``detect``
+and ``campaign`` take ``--seed`` for end-to-end deterministic reruns and
+``--json`` to emit the structured record instead of the human report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from pathlib import Path
-from typing import Optional
+import time
+from typing import List, Optional
 
-from .bench import BENCHMARKS, c17, c1355_like, c6288_like, load_bench, save_bench
-from .core import TableRow, TrojanZeroPipeline, format_table
+from .api import (
+    CampaignRunner,
+    CampaignSpec,
+    DETECTORS,
+    ExperimentRecord,
+    ExperimentSpec,
+    execute_experiment,
+    resolve_circuit,
+    resolve_designs,
+)
+from .api.registry import ensure_circuit_ref
+from .bench import save_bench
+from .core import TableRow, format_table
 from .power import analyze, optimize_netlist, tech65_library
 
-_EXTRA_BENCHMARKS = {"c17": c17, "c1355": c1355_like, "c6288": c6288_like}
 
-#: Paper Table I parameters for the ``table1`` command.
-_PAPER_PARAMETERS = {
-    "c432": (0.975, 2),
-    "c499": (0.993, 3),
-    "c880": (0.992, 3),
-    "c1908": (0.9986, 5),
-    "c3540": (0.992, 5),
-}
+def _resolve_circuit(ref: str):
+    try:
+        return resolve_circuit(ref)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
-def _resolve_circuit(spec: str):
-    if spec in BENCHMARKS:
-        return BENCHMARKS[spec]()
-    if spec in _EXTRA_BENCHMARKS:
-        return _EXTRA_BENCHMARKS[spec]()
-    path = Path(spec)
-    if path.exists():
-        return load_bench(path)
-    raise SystemExit(
-        f"unknown circuit {spec!r}: not a built-in benchmark "
-        f"({', '.join(sorted(BENCHMARKS) + sorted(_EXTRA_BENCHMARKS))}) "
-        "and no such file"
-    )
+def _check_circuit_ref(ref: str) -> None:
+    """Fail fast on a bad circuit reference without building the circuit."""
+    try:
+        ensure_circuit_ref(ref)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _build_spec(**fields) -> ExperimentSpec:
+    """Spec construction with argparse-style errors instead of tracebacks."""
+    try:
+        return ExperimentSpec(**fields)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _design_ref(counter_bits: Optional[int]) -> Optional[str]:
+    return f"counter{counter_bits}" if counter_bits is not None else None
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    circuit = _resolve_circuit(args.circuit)
-    pipeline = TrojanZeroPipeline.default()
-    result = pipeline.run(
-        circuit,
-        p_threshold=args.pth,
-        counter_bits=args.counter_bits,
+    spec = _build_spec(
+        circuit=args.circuit,
+        pth=args.pth,
+        design=_design_ref(args.counter_bits),
+        seed=args.seed,
+        mc_sessions=args.mc_sessions,
     )
-    print(result.summary())
-    if result.success and args.output:
-        save_bench(result.insertion.infected, args.output)
-        print(f"TZ-infected netlist written to {args.output}")
-    return 0 if result.success else 1
+    _check_circuit_ref(args.circuit)
+    outcome = execute_experiment(spec)
+    if args.json:
+        print(outcome.record.to_json_line())
+    else:
+        print(outcome.result.summary())
+        if args.mc_sessions > 0 and outcome.record.pft_monte_carlo is not None:
+            print(
+                f"  Pft (Monte-Carlo, {args.mc_sessions} sessions) = "
+                f"{outcome.record.pft_monte_carlo:.3e}"
+            )
+    if outcome.result.success and args.output:
+        save_bench(outcome.result.insertion.infected, args.output)
+        if not args.json:
+            print(f"TZ-infected netlist written to {args.output}")
+    return 0 if outcome.result.success else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    pipeline = TrojanZeroPipeline.default()
+    campaign = CampaignSpec.table1(seed=args.seed)
     rows = []
-    for name, (pth, bits) in _PAPER_PARAMETERS.items():
-        result = pipeline.run(BENCHMARKS[name](), p_threshold=pth, counter_bits=bits)
-        rows.append(TableRow.from_result(result))
-        print(f"  {name}: {'ok' if result.success else 'FAILED'}", file=sys.stderr)
+    for spec in campaign:
+        record = execute_experiment(spec).record
+        rows.append(TableRow.from_record(record))
+        status = "ok" if record.success else "FAILED"
+        print(f"  {spec.circuit}: {status}", file=sys.stderr)
     print(format_table(rows))
     return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    spec = _build_spec(
+        circuit=args.circuit,
+        pth=args.pth,
+        design=_design_ref(args.counter_bits),
+        seed=args.seed,
+        detector=args.mode,
+        detector_chips=args.chips,
+        additive_gates=args.additive_gates,
+    )
+    _check_circuit_ref(args.circuit)
+    outcome = execute_experiment(spec)
+    if args.json:
+        # Always JSON on stdout, even when insertion fails (success: false).
+        print(outcome.record.to_json_line())
+        return 0 if outcome.result.success else 1
+    if not outcome.result.success:
+        print("TrojanZero insertion failed; nothing to detect")
+        return 1
+    report = outcome.evasion
+    print(f"golden flagged:     {report.golden_rates}")
+    print(f"additive flagged:   {report.additive_rates}")
+    print(f"TrojanZero flagged: {report.trojanzero_rates}")
+    verdict = "EVADES" if report.trojanzero_evades() else "is CAUGHT by"
+    print(f"TrojanZero {verdict} the {args.mode}-mode detectors")
+    return 0
+
+
+def _validate_campaign(campaign: CampaignSpec) -> None:
+    """Fail fast on unresolvable references before any cell runs."""
+    for spec in campaign:
+        try:
+            ensure_circuit_ref(spec.circuit)
+            resolve_designs(spec.design)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        if spec.detector is not None and spec.detector not in DETECTORS:
+            raise SystemExit(
+                f"unknown detector suite {spec.detector!r}; "
+                f"registered: {DETECTORS.names()}"
+            )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        if args.table1:
+            if args.circuits or args.pths is not None or args.designs:
+                raise SystemExit(
+                    "--table1 is a fixed grid; it cannot be combined with "
+                    "--circuits/--pths/--designs"
+                )
+            campaign = CampaignSpec.table1(
+                seed=args.seed,
+                mc_sessions=args.mc_sessions,
+                detector=args.detector,
+                detector_chips=args.chips,
+                additive_gates=args.additive_gates,
+            )
+        else:
+            if not args.circuits:
+                raise SystemExit("campaign needs --circuits (or --table1)")
+            campaign = CampaignSpec.sweep(
+                circuits=_csv(args.circuits),
+                pths=[float(p) for p in _csv(args.pths or "0.992")],
+                designs=_csv(args.designs) if args.designs else (None,),
+                seeds=(args.seed,),
+                detectors=(args.detector,),
+                mc_sessions=args.mc_sessions,
+                detector_chips=args.chips,
+                additive_gates=args.additive_gates,
+            )
+    except ValueError as exc:  # bad --pths / --mc-sessions values
+        raise SystemExit(str(exc)) from None
+    _validate_campaign(campaign)
+    if args.resume and not args.out:
+        raise SystemExit("--resume requires --out")
+
+    start = time.perf_counter()
+
+    def progress(record: ExperimentRecord) -> None:
+        took = record.runtime.get("timings_s", {}).get("total")
+        took_s = f" [{took:.1f}s]" if took is not None else ""
+        if record.error is not None:
+            status = f"error: {record.error}"
+        elif record.success:
+            status = "ok"
+        else:
+            status = "no insertion"
+        print(
+            f"  {record.spec.circuit} pth={record.spec.pth:g}"
+            f"{' ' + record.spec.design if record.spec.design else ''}: "
+            f"{status}{took_s}",
+            file=sys.stderr,
+        )
+
+    runner = CampaignRunner(
+        campaign, jobs=args.jobs, out=args.out, resume=args.resume
+    )
+    result = runner.run(progress)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in result.records], sort_keys=True))
+    else:
+        elapsed = time.perf_counter() - start
+        print(f"campaign {campaign.name!r}: {result.summary()} [{elapsed:.1f}s]")
+    return 1 if result.errors else 0
 
 
 def _cmd_atpg(args: argparse.Namespace) -> int:
@@ -123,31 +272,6 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_detect(args: argparse.Namespace) -> int:
-    from .detect import evasion_experiment
-
-    circuit = _resolve_circuit(args.circuit)
-    pipeline = TrojanZeroPipeline.default()
-    result = pipeline.run(circuit, p_threshold=args.pth, counter_bits=args.counter_bits)
-    if not result.success:
-        print("TrojanZero insertion failed; nothing to detect")
-        return 1
-    report = evasion_experiment(
-        result.thresholds.circuit,
-        result.insertion.infected,
-        tech65_library(),
-        additive_gates=args.additive_gates,
-        n_chips=args.chips,
-        mode=args.mode,
-    )
-    print(f"golden flagged:     {report.golden_rates}")
-    print(f"additive flagged:   {report.additive_rates}")
-    print(f"TrojanZero flagged: {report.trojanzero_rates}")
-    verdict = "EVADES" if report.trojanzero_evades() else "is CAUGHT by"
-    print(f"TrojanZero {verdict} the {args.mode}-mode detectors")
-    return 0
-
-
 def _cmd_equiv(args: argparse.Namespace) -> int:
     from .verify import check_equivalence
 
@@ -172,10 +296,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("circuit")
     p.add_argument("--pth", type=float, default=0.992)
     p.add_argument("--counter-bits", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None,
+                   help="master seed for a fully deterministic rerun")
+    p.add_argument("--mc-sessions", type=int, default=0,
+                   help="Monte-Carlo Pft validation sessions (0 = analytic only)")
     p.add_argument("--output", help="write the TZ-infected .bench here")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured ExperimentRecord as JSON")
     p.set_defaults(func=_cmd_attack)
 
+    p = sub.add_parser(
+        "campaign",
+        help="run a benchmark x Pth x design grid with JSONL records",
+    )
+    p.add_argument("--circuits", help="comma-separated circuit refs (names or .bench paths)")
+    p.add_argument("--pths", default=None,
+                   help="comma-separated Pth values (default: 0.992)")
+    p.add_argument("--designs", default=None,
+                   help="comma-separated design refs (default: full HT library per cell)")
+    p.add_argument("--table1", action="store_true",
+                   help="use the paper's Table I grid instead of --circuits/--pths")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--mc-sessions", type=int, default=0)
+    p.add_argument("--detector", default=None,
+                   help="detector suite to run on successful insertions (paper|structural)")
+    p.add_argument("--chips", type=int, default=30)
+    p.add_argument("--additive-gates", type=int, default=16)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = in-process, campaign order preserved)")
+    p.add_argument("--out", help="append one JSON record per cell to this JSONL file")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells whose records already exist in --out")
+    p.add_argument("--json", action="store_true",
+                   help="print all records as a JSON array on stdout")
+    p.set_defaults(func=_cmd_campaign)
+
     p = sub.add_parser("table1", help="regenerate the paper's Table I")
+    p.add_argument("--seed", type=int, default=None)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("atpg", help="run defender ATPG, report coverage")
@@ -202,7 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--counter-bits", type=int, default=3)
     p.add_argument("--additive-gates", type=int, default=16)
     p.add_argument("--chips", type=int, default=30)
-    p.add_argument("--mode", choices=("paper", "structural"), default="paper")
+    p.add_argument("--mode", choices=tuple(DETECTORS.names()), default="paper")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured ExperimentRecord as JSON")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser("equiv", help="SAT equivalence check of two circuits")

@@ -8,7 +8,7 @@ from .insertion import (
     rank_trigger_sources,
     rank_victims,
 )
-from .pipeline import TrojanZeroPipeline, TrojanZeroResult
+from .pipeline import TrojanZeroPipeline, TrojanZeroResult, derive_seed
 from .report import TableRow, format_row, format_table
 from .salvage import RemovalRecord, SalvageResult, salvage
 from .thresholds import DefenderModel, ThresholdReport, compute_thresholds
@@ -28,6 +28,7 @@ __all__ = [
     "rank_trigger_sources",
     "TrojanZeroPipeline",
     "TrojanZeroResult",
+    "derive_seed",
     "TableRow",
     "format_row",
     "format_table",

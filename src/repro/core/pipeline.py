@@ -16,7 +16,7 @@ patching, not from cold).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -31,6 +31,25 @@ from ..trojan.trigger import TriggerReport, trigger_report
 from .insertion import InsertionConfig, InsertionResult, insert_trojan_zero
 from .salvage import SalvageResult, salvage
 from .thresholds import DefenderModel, ThresholdReport, compute_thresholds
+
+
+def derive_seed(seed: int, index: int) -> int:
+    """Deterministic sub-seed ``index`` of a master ``seed``.
+
+    One master seed must reach several independent RNG consumers (ATPG
+    pattern fill, bespoke defender vectors, Monte-Carlo Pft sessions,
+    detector variation models); spawning through :class:`numpy.random.
+    SeedSequence` keeps the streams statistically independent while staying
+    reproducible across processes.
+    """
+    return int(np.random.SeedSequence([seed, index]).generate_state(1)[0])
+
+
+#: Fixed sub-seed indices of a master experiment seed.
+SEED_ATPG = 0
+SEED_BESPOKE = 1
+SEED_TRIGGER_MC = 2
+SEED_DETECT = 3
 
 
 @dataclass
@@ -127,6 +146,7 @@ class TrojanZeroPipeline:
         counter_bits: Optional[int] = None,
         max_candidates: Optional[int] = None,
         monte_carlo_sessions: int = 0,
+        seed: Optional[int] = None,
     ) -> TrojanZeroResult:
         """Run the full TrojanZero flow on one HT-free circuit.
 
@@ -138,8 +158,22 @@ class TrojanZeroPipeline:
             Restrict the HT library to the n-bit counter design (Table I
             fixes the counter size per benchmark); default tries the whole
             library, largest first.
+        seed:
+            Master seed reaching every RNG draw of the run (ATPG, bespoke
+            defender vectors, Monte-Carlo Pft sessions) via
+            :func:`derive_seed`.  ``None`` keeps the legacy per-module fixed
+            seeds, reproducing historical results exactly.
         """
-        thresholds = compute_thresholds(circuit, self.library, self.defender)
+        defender = self.defender
+        trigger_rng: Optional[np.random.Generator] = None
+        if seed is not None:
+            defender = replace(
+                defender,
+                atpg=replace(defender.atpg, seed=derive_seed(seed, SEED_ATPG)),
+                random_seed=derive_seed(seed, SEED_BESPOKE),
+            )
+            trigger_rng = np.random.default_rng(derive_seed(seed, SEED_TRIGGER_MC))
+        thresholds = compute_thresholds(circuit, self.library, defender)
         salvage_result = salvage(
             thresholds.circuit,
             thresholds.pattern_sets,
@@ -170,6 +204,7 @@ class TrojanZeroPipeline:
                 insertion.instance,
                 n_test_vectors=thresholds.n_test_vectors,
                 monte_carlo_sessions=monte_carlo_sessions,
+                rng=trigger_rng,
             )
         return TrojanZeroResult(
             benchmark=circuit.name,

@@ -48,6 +48,33 @@ class TableRow:
             pft=result.pft,
         )
 
+    @classmethod
+    def from_record(cls, record) -> "TableRow":
+        """Row from a serialized :class:`repro.api.ExperimentRecord`.
+
+        Duck-typed (record attributes only) so the core reporting layer does
+        not import the api layer that sits above it.
+        """
+        free = record.power["free"]
+        modified = record.power["modified"]
+        infected = record.power.get("infected")
+        return cls(
+            circuit=record.benchmark,
+            gates=record.gates,
+            inputs=record.inputs,
+            p_threshold=record.spec.pth,
+            candidates=record.candidates,
+            expendable=record.expendable,
+            ht_design=record.design if record.design else "-",
+            power_free_uw=free["total_uw"],
+            power_modified_uw=modified["total_uw"],
+            power_infected_uw=infected["total_uw"] if infected else None,
+            area_free_ge=free["area_ge"],
+            area_modified_ge=modified["area_ge"],
+            area_infected_ge=infected["area_ge"] if infected else None,
+            pft=record.pft,
+        )
+
 
 _HEADER = (
     "Circuit  Gates  I/P   Pth     C   Eg  HT        "

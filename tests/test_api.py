@@ -1,0 +1,290 @@
+"""Tests for the declarative experiment API (`repro.api`).
+
+Covers spec/record JSON round-trips, registry resolution, seed determinism,
+parallel-vs-serial campaign parity, and JSONL resume bookkeeping.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    CIRCUITS,
+    DETECTORS,
+    TROJAN_DESIGNS,
+    CampaignRunner,
+    CampaignSpec,
+    ExperimentRecord,
+    ExperimentSpec,
+    TABLE1_PARAMETERS,
+    detect_seed_for,
+    execute_experiment,
+    load_records,
+    resolve_circuit,
+    resolve_designs,
+    run_campaign,
+    run_experiment,
+)
+from repro.core import TableRow
+from repro.trojan.library import TrojanDesign
+
+
+class TestSpecSerialization:
+    def test_spec_round_trip(self):
+        spec = ExperimentSpec(
+            circuit="c432",
+            pth=0.975,
+            design="counter2",
+            seed=7,
+            mc_sessions=16,
+            detector="paper",
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_spec_json_is_plain_json(self):
+        data = json.loads(ExperimentSpec(circuit="c17", pth=0.9).to_json())
+        assert data["circuit"] == "c17"
+        assert data["design"] is None
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            ExperimentSpec.from_dict({"circuit": "c17", "bogus": 1})
+
+    def test_invalid_pth_rejected(self):
+        with pytest.raises(ValueError, match="pth"):
+            ExperimentSpec(circuit="c17", pth=0.2)
+
+    def test_cell_id_stable_and_distinct(self):
+        a = ExperimentSpec(circuit="c17", pth=0.9)
+        assert a.cell_id() == ExperimentSpec(circuit="c17", pth=0.9).cell_id()
+        assert a.cell_id() != a.with_(pth=0.95).cell_id()
+        assert a.cell_id() != a.with_(seed=1).cell_id()
+
+    def test_campaign_round_trip(self):
+        campaign = CampaignSpec.sweep(
+            circuits=["c17", "c432"], pths=[0.9, 0.975], seeds=[3]
+        )
+        assert CampaignSpec.from_json(campaign.to_json()) == campaign
+
+    def test_sweep_expansion_is_circuit_major(self):
+        campaign = CampaignSpec.sweep(circuits=["a", "b"], pths=[0.9, 0.95])
+        assert len(campaign) == 4
+        assert [s.circuit for s in campaign] == ["a", "a", "b", "b"]
+
+    def test_table1_grid(self):
+        campaign = CampaignSpec.table1(seed=1)
+        assert len(campaign) == 5
+        for spec in campaign:
+            pth, bits = TABLE1_PARAMETERS[spec.circuit]
+            assert spec.pth == pth
+            assert spec.design == f"counter{bits}"
+            assert spec.seed == 1
+
+    def test_table1_forwards_detector_knobs(self):
+        campaign = CampaignSpec.table1(
+            detector="paper", detector_chips=11, additive_gates=5
+        )
+        for spec in campaign:
+            assert spec.detector_chips == 11
+            assert spec.additive_gates == 5
+
+
+class TestRegistries:
+    def test_all_benchmarks_registered(self):
+        for name in ("c17", "c432", "c499", "c880", "c1355", "c1908", "c3540", "c6288"):
+            assert name in CIRCUITS
+
+    def test_resolve_circuit_by_name(self):
+        assert resolve_circuit("c17").name == "c17"
+
+    def test_resolve_circuit_by_path(self, tmp_path):
+        from repro.bench import c17, save_bench
+
+        path = tmp_path / "mine.bench"
+        save_bench(c17(), path)
+        assert resolve_circuit(str(path)).name == "mine"
+
+    def test_resolve_circuit_unknown(self):
+        with pytest.raises(ValueError, match="unknown circuit"):
+            resolve_circuit("c9999")
+
+    def test_register_decorator(self):
+        @CIRCUITS.register("_test_tmp_circuit")
+        def factory():
+            from repro.bench import c17
+
+            return c17()
+
+        try:
+            assert resolve_circuit("_test_tmp_circuit").name == "c17"
+        finally:
+            CIRCUITS._entries.pop("_test_tmp_circuit")
+
+    def test_resolve_designs(self):
+        assert resolve_designs(None) is None
+        (design,) = resolve_designs("counter3")
+        assert design == TrojanDesign("counter3", "counter", 3)
+        # Parametric fallback beyond the registered library sizes.
+        (big,) = resolve_designs("counter7")
+        assert big.size == 7 and big.kind == "counter"
+        with pytest.raises(ValueError, match="unknown trojan design"):
+            resolve_designs("rowhammer")
+
+    def test_default_designs_registered(self):
+        assert {"counter2", "counter5", "comb2", "comb4"} <= set(
+            TROJAN_DESIGNS.names()
+        )
+
+    def test_detector_suites_registered(self):
+        assert DETECTORS.names() == ["paper", "structural"]
+
+    def test_detect_seed_derivation(self):
+        assert detect_seed_for(None) == 37  # legacy fixed seed
+        assert detect_seed_for(5) == detect_seed_for(5)
+        assert detect_seed_for(5) != detect_seed_for(6)
+
+
+class TestExperimentRecord:
+    def test_record_round_trip_c17(self):
+        record = run_experiment(ExperimentSpec(circuit="c17", pth=0.9))
+        assert record.error is None
+        assert record.success is False  # c17 has no salvage budget
+        restored = ExperimentRecord.from_json_line(record.to_json_line())
+        assert restored.payload_dict() == record.payload_dict()
+        assert restored.spec == record.spec
+
+    def test_payload_excludes_runtime(self):
+        record = run_experiment(ExperimentSpec(circuit="c17", pth=0.9))
+        assert "timings_s" in record.runtime
+        assert "runtime" not in record.payload_dict()
+        assert "runtime" in record.to_dict()
+
+    def test_record_unknown_keys_rejected(self):
+        record = run_experiment(ExperimentSpec(circuit="c17", pth=0.9))
+        data = record.to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown keys"):
+            ExperimentRecord.from_dict(data)
+
+
+class TestDeterminismAndReporting:
+    @pytest.fixture(scope="class")
+    def c432_outcomes(self):
+        spec = ExperimentSpec(
+            circuit="c432", pth=0.975, design="counter2", seed=5, mc_sessions=8
+        )
+        return spec, execute_experiment(spec), execute_experiment(spec)
+
+    def test_same_seed_runs_identical(self, c432_outcomes):
+        _, first, second = c432_outcomes
+        assert first.record.payload_dict() == second.record.payload_dict()
+
+    def test_seed_reaches_monte_carlo(self, c432_outcomes):
+        _, first, _ = c432_outcomes
+        assert first.record.success
+        assert first.record.pft_monte_carlo is not None
+
+    def test_table_row_matches_result_path(self, c432_outcomes):
+        _, outcome, _ = c432_outcomes
+        assert TableRow.from_record(outcome.record) == TableRow.from_result(
+            outcome.result
+        )
+
+
+class TestCampaignRunner:
+    @pytest.fixture(scope="class")
+    def small_campaign(self):
+        return CampaignSpec.of(
+            [
+                ExperimentSpec(circuit="c17", pth=0.9, seed=3),
+                ExperimentSpec(circuit="c17", pth=0.95, seed=3),
+                ExperimentSpec(circuit="c432", pth=0.975, design="counter2", seed=3),
+            ],
+            name="unit",
+        )
+
+    def test_parallel_matches_serial(self, small_campaign, tmp_path):
+        out = tmp_path / "parallel.jsonl"
+        result = run_campaign(small_campaign, jobs=2, out=out)
+        assert len(result.records) == len(small_campaign)
+        assert not result.errors
+        by_id = {r.spec.cell_id(): r for r in load_records(out)}
+        for spec in small_campaign:
+            serial = run_experiment(spec)
+            assert serial.payload_dict() == by_id[spec.cell_id()].payload_dict()
+
+    def test_resume_skips_completed_cells(self, small_campaign, tmp_path):
+        out = tmp_path / "resume.jsonl"
+        first = run_campaign(small_campaign, jobs=1, out=out)
+        assert len(first.records) == 3 and not first.skipped
+        again = run_campaign(small_campaign, jobs=1, out=out, resume=True)
+        assert len(again.records) == 0
+        assert len(again.skipped) == 3
+        assert len(load_records(out)) == 3  # nothing re-appended
+
+    def test_resume_runs_only_new_cells(self, small_campaign, tmp_path):
+        out = tmp_path / "partial.jsonl"
+        run_campaign(small_campaign, jobs=1, out=out)
+        extra = CampaignSpec.of(
+            list(small_campaign) + [ExperimentSpec(circuit="c17", pth=0.99, seed=3)]
+        )
+        result = run_campaign(extra, jobs=1, out=out, resume=True)
+        assert len(result.records) == 1
+        assert result.records[0].spec.pth == 0.99
+        assert len(load_records(out)) == 4
+
+    def test_resume_requires_out(self, small_campaign):
+        with pytest.raises(ValueError, match="resume"):
+            CampaignRunner(small_campaign, resume=True).run()
+
+    def test_bad_cell_becomes_error_record(self, tmp_path):
+        campaign = CampaignSpec.of(
+            [ExperimentSpec(circuit="/nonexistent/x.bench", pth=0.9)]
+        )
+        result = run_campaign(campaign)
+        (record,) = result.records
+        assert record.error is not None and "unknown circuit" in record.error
+        assert not record.success
+        # Error records serialize like any other.
+        restored = ExperimentRecord.from_json_line(record.to_json_line())
+        assert restored.error == record.error
+
+    def test_resume_reruns_error_records(self, tmp_path):
+        out = tmp_path / "errors.jsonl"
+        campaign = CampaignSpec.of(
+            [
+                ExperimentSpec(circuit="c17", pth=0.9),
+                ExperimentSpec(circuit="/nonexistent/x.bench", pth=0.9),
+            ]
+        )
+        first = run_campaign(campaign, jobs=1, out=out)
+        assert len(first.errors) == 1
+        # An error record is not "done": the failed cell re-runs on resume,
+        # the clean cell does not.
+        again = run_campaign(campaign, jobs=1, out=out, resume=True)
+        assert len(again.skipped) == 1
+        assert [r.spec.circuit for r in again.records] == ["/nonexistent/x.bench"]
+
+    def test_resume_after_truncated_line(self, small_campaign, tmp_path):
+        # A crash mid-write leaves an unterminated partial line; resume must
+        # re-run that cell and keep the appended records parseable.
+        out = tmp_path / "truncated.jsonl"
+        run_campaign(small_campaign, jobs=1, out=out)
+        lines = out.read_text().splitlines()
+        out.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        result = run_campaign(small_campaign, jobs=1, out=out, resume=True)
+        assert len(result.records) == 1  # only the corrupted cell re-ran
+        restored = load_records(out, strict=False)
+        assert len(restored) == 3
+        assert {r.spec.cell_id() for r in restored} == {
+            s.cell_id() for s in small_campaign
+        }
+
+    def test_load_records_strict(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = run_experiment(ExperimentSpec(circuit="c17", pth=0.9))
+        path.write_text(good.to_json_line() + "\n{not json}\n")
+        with pytest.raises(ValueError, match="invalid record"):
+            load_records(path)
+        assert len(load_records(path, strict=False)) == 1

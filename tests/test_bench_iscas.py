@@ -22,17 +22,27 @@ from repro.netlist import assert_valid
 from repro.sim import BitSimulator
 
 
+#: The five Table-I circuits (BENCHMARKS additionally registers the exact
+#: c17 and the c1355/c6288 extension circuits).
+PAPER_FIVE = ("c432", "c499", "c880", "c1908", "c3540")
+
+
 class TestRegistry:
-    def test_all_five_benchmarks_present(self):
-        assert set(BENCHMARKS) == {"c432", "c499", "c880", "c1908", "c3540"}
+    def test_all_benchmarks_present(self):
+        assert set(BENCHMARKS) == set(PAPER_FIVE) | {"c17", "c1355", "c6288"}
 
     def test_build_by_name(self):
         c = build_benchmark("c432")
         assert c.name == "c432_like"
 
+    def test_extras_build_by_name(self):
+        # Formerly CLI-private extras, now first-class registry entries.
+        assert build_benchmark("c17").name == "c17"
+        assert build_benchmark("c6288").name == "c6288_like"
+
     def test_unknown_name(self):
         with pytest.raises(KeyError):
-            build_benchmark("c6288")
+            build_benchmark("c9999")
 
     @pytest.mark.parametrize("name", sorted(BENCHMARKS))
     def test_structural_validity(self, name):

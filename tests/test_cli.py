@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import ExperimentRecord, load_records
 from repro.cli import build_parser, main
 
 
@@ -72,3 +75,90 @@ class TestCommands:
         save_bench(c17(), path)
         assert main(["power", str(path)]) == 0
         assert "mine" in capsys.readouterr().out
+
+    def test_extra_benchmarks_resolve(self, capsys):
+        # c17/c1355/c6288 used to live in a CLI-private dict; they must now
+        # resolve through the shared repro.bench registry.
+        assert main(["power", "c1355"]) == 0
+        assert "c1355_like" in capsys.readouterr().out
+
+    def test_attack_json_record(self, capsys):
+        code = main(
+            ["attack", "c432", "--pth", "0.975", "--counter-bits", "2",
+             "--seed", "11", "--mc-sessions", "8", "--json"]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["success"] is True
+        assert record["spec"]["seed"] == 11
+        assert record["trigger"]["pft_monte_carlo"] is not None
+        # The JSON line must satisfy the record schema.
+        ExperimentRecord.from_dict(record)
+
+
+class TestCampaignCommand:
+    def test_campaign_jsonl_and_exit_code(self, capsys, tmp_path):
+        out = tmp_path / "r.jsonl"
+        code = main(
+            ["campaign", "--circuits", "c17", "--pths", "0.9,0.95",
+             "--jobs", "2", "--out", str(out), "--json"]
+        )
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        for data in records:
+            ExperimentRecord.from_dict(data)  # schema-valid
+        assert len(load_records(out)) == 2
+
+    def test_campaign_resume_reruns_nothing(self, capsys, tmp_path):
+        out = tmp_path / "r.jsonl"
+        argv = ["campaign", "--circuits", "c17", "--pths", "0.9,0.95",
+                "--out", str(out)]
+        assert main(argv) == 0
+        assert main(argv + ["--resume"]) == 0
+        assert "skipped (resume)" in capsys.readouterr().out
+        assert len(load_records(out)) == 2  # no duplicate records appended
+
+    def test_campaign_requires_circuits(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--pths", "0.9"])
+
+    def test_campaign_rejects_unknown_circuit(self):
+        with pytest.raises(SystemExit, match="unknown circuit"):
+            main(["campaign", "--circuits", "c9999"])
+
+    def test_campaign_rejects_unknown_detector(self):
+        with pytest.raises(SystemExit, match="detector"):
+            main(["campaign", "--circuits", "c17", "--detector", "bogus"])
+
+    def test_campaign_resume_requires_out(self):
+        with pytest.raises(SystemExit, match="--resume"):
+            main(["campaign", "--circuits", "c17", "--resume"])
+
+    def test_campaign_rejects_invalid_pth_cleanly(self):
+        with pytest.raises(SystemExit, match="pth"):
+            main(["campaign", "--circuits", "c17", "--pths", "0.4"])
+
+    def test_campaign_table1_conflicts_with_grid_flags(self):
+        with pytest.raises(SystemExit, match="table1"):
+            main(["campaign", "--table1", "--circuits", "c17"])
+        with pytest.raises(SystemExit, match="table1"):
+            main(["campaign", "--table1", "--pths", "0.9"])
+
+
+class TestSpecValidationErrors:
+    def test_attack_invalid_pth_is_clean_error(self):
+        with pytest.raises(SystemExit, match="pth"):
+            main(["attack", "c432", "--pth", "0.4"])
+
+    def test_attack_invalid_mc_sessions_is_clean_error(self):
+        with pytest.raises(SystemExit, match="mc_sessions"):
+            main(["attack", "c432", "--mc-sessions", "-1"])
+
+    def test_detect_json_on_failed_insertion_is_json(self, capsys):
+        # c17 has no salvage budget, so insertion fails; --json must still
+        # emit the structured record (success: false), exit code 1.
+        code = main(["detect", "c17", "--pth", "0.9", "--json"])
+        assert code == 1
+        record = json.loads(capsys.readouterr().out)
+        assert record["success"] is False
