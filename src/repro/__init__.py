@@ -5,7 +5,8 @@ Trojans with zero power and area footprint, including every substrate the
 paper's flow depends on: gate-level netlists, logic simulation, signal
 probability analysis, stuck-at ATPG (PODEM + fault simulation), a 65nm-class
 cell library with power/area models, a hardware-Trojan library, the
-TrojanZero salvage/insertion algorithms, and power-based detection baselines.
+TrojanZero salvage/insertion algorithms, power-based detection baselines,
+and a per-cycle side-channel trace lab (:mod:`repro.traces`).
 
 Quickstart::
 
@@ -19,6 +20,16 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import api, atpg, bench, netlist, power, prob, sim  # noqa: F401
+from . import api, atpg, bench, netlist, power, prob, sim, traces  # noqa: F401
 
-__all__ = ["api", "atpg", "bench", "netlist", "power", "prob", "sim", "__version__"]
+__all__ = [
+    "api",
+    "atpg",
+    "bench",
+    "netlist",
+    "power",
+    "prob",
+    "sim",
+    "traces",
+    "__version__",
+]

@@ -27,6 +27,7 @@ from ..bench import BENCHMARKS, load_bench
 from ..detect import EvasionReport, evasion_experiment
 from ..netlist.circuit import Circuit
 from ..power.library import CellLibrary
+from ..traces.lab import trace_detector_suite
 from ..trojan.library import TrojanDesign, default_trojan_library
 
 
@@ -115,6 +116,9 @@ def _mode_detector(mode: str):
 
 DETECTORS.register("paper", _mode_detector("paper"))
 DETECTORS.register("structural", _mode_detector("structural"))
+#: Per-cycle power-trace suite (TVLA + keyed distinguishers) — the
+#: side-channel lab of :mod:`repro.traces`.
+DETECTORS.register("traces", trace_detector_suite)
 
 
 _SIZED_DESIGN = re.compile(r"^(counter|comb)(\d+)$")

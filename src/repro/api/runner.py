@@ -105,6 +105,11 @@ class ExperimentRecord:
     #: Set when the cell raised instead of completing; payload fields above
     #: are then defaults.
     error: Optional[str] = None
+    #: Side-channel trace-lab diagnostics (acquisition config, per-population
+    #: statistics, timings) when the detector suite is trace-based — like
+    #: :attr:`runtime`, excluded from :meth:`payload_dict` (it carries wall
+    #: times); the deterministic verdicts live in :attr:`detection`.
+    traces: Optional[Dict[str, Any]] = None
     #: Execution artifacts — excluded from :meth:`payload_dict`.
     runtime: Dict[str, Any] = field(default_factory=dict)
 
@@ -177,6 +182,7 @@ class ExperimentRecord:
             delta_tz=_delta_dict(result.delta_tz),
             trigger=trigger,
             detection=detection,
+            traces=getattr(evasion, "trace_diagnostics", None),
             runtime=run_stats,
         )
 
@@ -194,6 +200,7 @@ class ExperimentRecord:
         """The deterministic portion of the record (no execution artifacts)."""
         data = self.to_dict()
         data.pop("runtime")
+        data.pop("traces")
         return data
 
     @classmethod

@@ -14,7 +14,10 @@ Commands
 ``campaign``   run a benchmark x Pth x design grid, serially or ``--jobs N``
                in parallel, streaming JSONL records with ``--resume`` support
 ``table1``     regenerate the paper's Table I across all five benchmarks
-``detect``     run the evasion experiment on a benchmark
+``detect``     run the evasion experiment on a benchmark (``--mode traces``
+               selects the per-cycle trace suite)
+``traces``     run the side-channel trace lab with configurable acquisition
+               (sequences, repeats, sensor noise, ADC bits, jitter)
 ``atpg``       run the defender's ATPG on a circuit and report coverage
 ``prob``       report rare nodes at a probability threshold
 ``power``      report power/area of a circuit under the 65nm-class model
@@ -41,6 +44,7 @@ from .api import (
     DETECTORS,
     ExperimentRecord,
     ExperimentSpec,
+    detect_seed_for,
     execute_experiment,
     resolve_circuit,
     resolve_designs,
@@ -227,6 +231,105 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from .power import tech65_library
+    from .traces import TraceLabConfig, trace_evasion_experiment
+
+    try:
+        config = TraceLabConfig(
+            n_sequences=args.sequences,
+            n_vectors=args.vectors,
+            n_repeats=args.repeats,
+            noise_rel=args.noise,
+            adc_bits=args.adc_bits,
+            jitter_cycles=args.jitter,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    spec = _build_spec(
+        circuit=args.circuit,
+        pth=args.pth,
+        design=_design_ref(args.counter_bits),
+        seed=args.seed,
+    )
+    _check_circuit_ref(args.circuit)
+    outcome = execute_experiment(spec)
+    if not outcome.result.success:
+        if args.json:
+            print(outcome.record.to_json_line())
+        else:
+            print("TrojanZero insertion failed; nothing to trace")
+        return 1
+    report = trace_evasion_experiment(
+        outcome.result.thresholds.circuit,
+        outcome.result.insertion.infected,
+        tech65_library(),
+        additive_gates=args.additive_gates,
+        n_chips=args.chips,
+        seed=detect_seed_for(args.seed),
+        config=config,
+    )
+    if args.json:
+        if config == TraceLabConfig():
+            # Default acquisition: the record is exactly what a campaign cell
+            # with detector="traces" would produce, and its payload is
+            # reproducible from its own spec.
+            record_spec = spec.with_(
+                detector="traces",
+                detector_chips=args.chips,
+                additive_gates=args.additive_gates,
+            )
+            record = ExperimentRecord.from_run(
+                record_spec, outcome.result, report, outcome.record.runtime
+            )
+        else:
+            # Custom acquisition flags are not expressible in a spec, so the
+            # verdicts must not enter the spec-reproducible detection payload;
+            # they ride in the non-payload traces section alongside the
+            # acquisition config instead.
+            import dataclasses
+
+            record = ExperimentRecord.from_run(
+                spec, outcome.result, None, outcome.record.runtime
+            )
+            extra = dict(report.trace_diagnostics)
+            extra["rates"] = {
+                "golden": report.golden_rates,
+                "additive": report.additive_rates,
+                "trojanzero": report.trojanzero_rates,
+            }
+            extra["evades"] = report.trojanzero_evades()
+            record = dataclasses.replace(record, traces=extra)
+        print(record.to_json_line())
+        return 0
+    diag = report.trace_diagnostics
+    cfg = diag["config"]
+    print(
+        f"trace lab on {args.circuit}: {cfg['n_sequences']} sequences x "
+        f"{cfg['n_vectors']} vectors x {cfg['n_repeats']} repeats, "
+        f"{args.chips} chips/population"
+    )
+    print(
+        f"  noise {cfg['noise_rel']:.3f} rel, ADC {cfg['adc_bits']} bits, "
+        f"jitter {cfg['jitter_cycles']} cycles"
+    )
+    print(f"  hypothesis nets: {', '.join(diag['hypothesis_nets'])}")
+    print(f"golden flagged:     {report.golden_rates}")
+    print(f"additive flagged:   {report.additive_rates}")
+    print(f"TrojanZero flagged: {report.trojanzero_rates}")
+    stats = diag["max_statistic"]
+    print(f"max statistics (golden / additive / TZ):")
+    for name in sorted(stats["golden"]):
+        print(
+            f"  {name:<5} {stats['golden'][name]:8.2f} "
+            f"{stats['additive'][name]:8.2f} {stats['trojanzero'][name]:8.2f}"
+            f"   (threshold {diag['thresholds'][name]:.2f})"
+        )
+    verdict = "EVADES" if report.trojanzero_evades() else "is CAUGHT by"
+    print(f"TrojanZero {verdict} the trace detectors")
+    return 0
+
+
 def _cmd_atpg(args: argparse.Namespace) -> int:
     from .atpg import AtpgConfig, generate_test_set
 
@@ -319,7 +422,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--mc-sessions", type=int, default=0)
     p.add_argument("--detector", default=None,
-                   help="detector suite to run on successful insertions (paper|structural)")
+                   help="detector suite to run on successful insertions "
+                        f"({'|'.join(DETECTORS.names())})")
     p.add_argument("--chips", type=int, default=30)
     p.add_argument("--additive-gates", type=int, default=16)
     p.add_argument("--jobs", type=int, default=1,
@@ -364,6 +468,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the structured ExperimentRecord as JSON")
     p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser(
+        "traces", help="run the side-channel trace lab (per-cycle power traces)"
+    )
+    p.add_argument("circuit")
+    p.add_argument("--pth", type=float, default=0.992)
+    p.add_argument("--counter-bits", type=int, default=3)
+    p.add_argument("--additive-gates", type=int, default=16)
+    p.add_argument("--chips", type=int, default=16)
+    p.add_argument("--sequences", type=int, default=24,
+                   help="stimulus sequences per acquisition")
+    p.add_argument("--vectors", type=int, default=33,
+                   help="vectors per sequence (trace has vectors-1 cycles)")
+    p.add_argument("--repeats", type=int, default=8,
+                   help="acquisitions per chip over the same stimuli")
+    p.add_argument("--noise", type=float, default=0.01,
+                   help="sensor noise sigma relative to the mean trace sample")
+    p.add_argument("--adc-bits", type=int, default=12,
+                   help="ADC quantization bits (0 = disabled)")
+    p.add_argument("--jitter", type=int, default=0,
+                   help="acquisition-trigger jitter in cycles")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured ExperimentRecord as JSON")
+    p.set_defaults(func=_cmd_traces)
 
     p = sub.add_parser("equiv", help="SAT equivalence check of two circuits")
     p.add_argument("golden")

@@ -1,6 +1,6 @@
 """Technology library, synthesis-lite, and power/area analysis."""
 
-from .analysis import PowerDelta, PowerReport, analyze
+from .analysis import PowerDelta, PowerReport, analyze, switching_energy_fj
 from .library import Cell, CellLibrary, LibraryParams, MAX_FANIN
 from .synthesis import MappedNetlist, map_circuit, optimize_netlist
 from .tech65 import TECH65_PARAMS, tech65_library
@@ -17,6 +17,7 @@ __all__ = [
     "PowerReport",
     "PowerDelta",
     "analyze",
+    "switching_energy_fj",
     "tech65_library",
     "TECH65_PARAMS",
     "TimingReport",

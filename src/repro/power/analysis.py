@@ -80,6 +80,47 @@ class PowerDelta:
         )
 
 
+def switching_energy_fj(
+    circuit: Circuit,
+    library: CellLibrary,
+    mapped: Optional[MappedNetlist] = None,
+) -> Dict[str, float]:
+    """Per-net energy dissipated by one output toggle (fJ).
+
+    ``E = 0.5 · C_load · Vdd² + E_internal`` with ``C_load`` the reader-pin
+    capacitances plus estimated wire capacitance — exactly the per-toggle
+    energy the dynamic-power model of :func:`analyze` multiplies by
+    ``alpha · f``.  The side-channel trace generator
+    (:mod:`repro.traces.generator`) weights per-cycle toggle vectors with
+    this same table, so traces and aggregate power are scored by one
+    consistent cost model.
+    """
+    params = library.params
+    vdd = params.vdd
+    if mapped is None:
+        mapped = map_circuit(circuit, library)
+
+    fanout_cap: Dict[str, float] = {net: 0.0 for net in circuit.nets}
+    for gate in circuit.logic_gates():
+        pin_cap = mapped.cells[gate.name][-1].input_cap_ff
+        for src in gate.inputs:
+            fanout_cap[src] += pin_cap
+
+    energy: Dict[str, float] = {}
+    for net in circuit.nets:
+        gate = circuit.gate(net)
+        n_readers = len(circuit.fanout(net))
+        wire_cap = params.wire_cap_base_ff + params.wire_cap_per_fanout_ff * n_readers
+        load_ff = fanout_cap[net] + wire_cap
+        internal_fj = 0.0
+        if not gate.is_input:
+            # Decomposed trees switch their internal nets at (approximately)
+            # the output activity as well; charge every constituent cell.
+            internal_fj = sum(c.internal_energy_fj for c in mapped.cells[gate.name])
+        energy[net] = 0.5 * load_ff * vdd * vdd + internal_fj
+    return energy
+
+
 def analyze(
     circuit: Circuit,
     library: CellLibrary,
@@ -112,36 +153,20 @@ def analyze(
     leakage_by_gate: Dict[str, float] = {}
     dynamic_by_net: Dict[str, float] = {}
 
-    fanout_cap: Dict[str, float] = {net: 0.0 for net in circuit.nets}
-    for gate in circuit.logic_gates():
-        cells = mapped.cells[gate.name]
-        pin_cap = cells[-1].input_cap_ff
-        for src in gate.inputs:
-            fanout_cap[src] += pin_cap
-
     for gate in circuit.logic_gates():
         cells = mapped.cells[gate.name]
         area_by_gate[gate.name] = sum(c.area_um2 for c in cells)
         leakage_by_gate[gate.name] = sum(c.leakage_nw for c in cells) * 1e-3  # nW→µW
 
+    # Energy per toggle: 0.5 C V² (fF·V² = fJ) + internal energy — shared
+    # with the per-cycle trace generator (repro.traces).
+    energy_fj = switching_energy_fj(circuit, library, mapped=mapped)
     for net in circuit.nets:
-        gate = circuit.gate(net)
         alpha = float(activity.get(net, 0.0))
         if alpha <= 0.0:
             dynamic_by_net[net] = 0.0
             continue
-        n_readers = len(circuit.fanout(net))
-        wire_cap = params.wire_cap_base_ff + params.wire_cap_per_fanout_ff * n_readers
-        load_ff = fanout_cap[net] + wire_cap
-        internal_fj = 0.0
-        if not gate.is_input:
-            cells = mapped.cells[gate.name]
-            # Decomposed trees switch their internal nets at (approximately)
-            # the output activity as well; charge every constituent cell.
-            internal_fj = sum(c.internal_energy_fj for c in cells)
-        # Energy per toggle: 0.5 C V² (fF·V² = fJ) + internal energy.
-        energy_fj = 0.5 * load_ff * vdd * vdd + internal_fj
-        dynamic_by_net[net] = alpha * f * energy_fj * 1e-9  # fJ·Hz → µW
+        dynamic_by_net[net] = alpha * f * energy_fj[net] * 1e-9  # fJ·Hz → µW
 
     area_um2 = sum(area_by_gate.values())
     leakage_uw = sum(leakage_by_gate.values())

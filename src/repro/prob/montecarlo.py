@@ -15,7 +15,7 @@ from typing import Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from ..netlist.circuit import Circuit
-from ..sim.bitsim import BitSimulator, random_patterns
+from ..sim.bitsim import BitSimulator, random_patterns, toggle_matrix
 from ..sim.seqsim import SequentialSimulator
 
 
@@ -105,25 +105,22 @@ def mc_toggle_rates(
     rng = rng or np.random.default_rng(0)
     sequence = _biased_patterns(circuit, n_vectors, rng, pi_probabilities)
 
+    watch = list(circuit.nets)
     if circuit.is_sequential:
-        watch = list(circuit.nets)
         traces = SequentialSimulator(circuit).run_sequences_nets(
             sequence[np.newaxis], watch
         )[0]  # (n_vectors, n_nets) — one batched unpack, no per-net stepping
-        if n_vectors > 1:
-            rates = (traces[1:] != traces[:-1]).mean(axis=0)
-        else:
-            rates = np.zeros(len(watch))
-        return {
-            net: Estimate(
-                float(rates[i]), _half_width(float(rates[i]), n_vectors - 1), n_vectors - 1
-            )
-            for i, net in enumerate(watch)
-        }
-
-    values = BitSimulator(circuit).run_full(sequence)
-    result = {}
-    for net, bits in values.items():
-        toggles = float(np.mean(bits[1:] != bits[:-1])) if n_vectors > 1 else 0.0
-        result[net] = Estimate(toggles, _half_width(toggles, n_vectors - 1), n_vectors - 1)
-    return result
+    else:
+        traces = BitSimulator(circuit).run_nets(sequence, watch)
+    if n_vectors > 1:
+        # One batched XOR over all watched rows (the shared toggle kernel of
+        # repro.traces) instead of a per-net bits[1:] != bits[:-1] loop.
+        rates = toggle_matrix(traces, axis=0).mean(axis=0)
+    else:
+        rates = np.zeros(len(watch))
+    return {
+        net: Estimate(
+            float(rates[i]), _half_width(float(rates[i]), n_vectors - 1), n_vectors - 1
+        )
+        for i, net in enumerate(watch)
+    }

@@ -68,6 +68,24 @@ def unpack_patterns(packed: np.ndarray, n_patterns: int) -> np.ndarray:
     return bits[:, :n_patterns].T.copy()
 
 
+def toggle_matrix(values: np.ndarray, axis: int = 0) -> np.ndarray:
+    """XOR of consecutive entries of a 0/1 array along ``axis``.
+
+    The shared toggle kernel behind empirical toggle-rate estimation
+    (:func:`repro.prob.montecarlo.mc_toggle_rates`) and the side-channel
+    trace generator (:mod:`repro.traces.generator`): one batched pass over
+    *all* watched signals at once instead of a per-net Python loop.  For an
+    axis of length ``n`` the result has length ``n - 1`` — entry ``t`` is 1
+    where the signal changed between steps ``t`` and ``t + 1``.
+    """
+    values = np.asarray(values)
+    ahead = [slice(None)] * values.ndim
+    behind = [slice(None)] * values.ndim
+    ahead[axis] = slice(1, None)
+    behind[axis] = slice(None, -1)
+    return np.bitwise_xor(values[tuple(ahead)], values[tuple(behind)])
+
+
 def tail_mask(n_patterns: int) -> np.ndarray:
     """Per-word masks selecting only the valid pattern bits."""
     n_words = (n_patterns + _WORD_BITS - 1) // _WORD_BITS

@@ -88,6 +88,17 @@ from ..netlist.gate import GateType
 _WORD_BITS = 64
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
+#: Bound on the fired-DFF-set -> ripple sub-schedule cache (counters revisit
+#: a handful of sets; an adversarial workload must not grow it unboundedly).
+_FIRE_CACHE_MAX = 128
+
+#: When the fired DFFs' cone union covers this fraction of the scheduled
+#: rows, a full re-settle is cheaper (contiguous row slices instead of
+#: gathered subgroups).
+_FIRE_FULL_FRACTION = 0.6
+
+_MISSING = object()
+
 #: numpy reduction ufunc per associative gate family.
 _REDUCERS = {
     GateType.AND: np.bitwise_and,
@@ -323,6 +334,7 @@ class CompiledCircuit:
         )
         self._cone_cache: Dict[int, ConeSchedule] = {}
         self._cone_rows_cache: Dict[int, List[int]] = {}
+        self._fire_cache: Dict[Tuple[int, ...], Optional[Tuple[GateGroup, ...]]] = {}
 
     # ------------------------------------------------------------------
     # full-circuit evaluation
@@ -381,7 +393,11 @@ class CompiledCircuit:
         Semantics match the reference dict engine exactly: settle, then up to
         ``n_dffs + 2`` ripple passes of (detect rising edges vs. the snapshot,
         latch ``d`` where an edge fired, snapshot clocks, re-settle if
-        anything fired).
+        anything fired).  Ripple re-settles are *cone-restricted*: only the
+        fired DFFs' state rows changed, so only the union of their fanout
+        cones (:meth:`dff_fire_schedule`) is re-evaluated — deep-counter
+        workloads that fire an edge every cycle pay for the counter chain,
+        not the whole schedule.
         """
         if state.size:
             values[self.dff_idx] = state
@@ -398,7 +414,13 @@ class CompiledCircuit:
                 state &= ~edge
                 state |= values[self.dff_d_idx] & edge
                 values[self.dff_idx] = state
-                self.run_matrix(values)
+                fired = tuple(np.nonzero(edge.any(axis=1))[0].tolist())
+                groups = self.dff_fire_schedule(fired)
+                if groups is None:
+                    self.run_matrix(values)
+                else:
+                    for group in groups:
+                        _evaluate_group(group, values)
         return values[self.dff_clk_idx]
 
     # ------------------------------------------------------------------
@@ -426,55 +448,84 @@ class CompiledCircuit:
             self._cone_rows_cache[site] = cached
         return cached
 
+    def _subschedule_for_rows(self, rows: List[int]) -> Tuple[GateGroup, ...]:
+        """Restrict the group schedule to the (sorted) member ``rows``."""
+        groups: List[GateGroup] = []
+        for group in self.schedule:
+            if isinstance(group.out, slice):
+                # Each full group owns one contiguous row run, so the
+                # member rows inside it form one bisectable span.
+                start, stop = group.out.start, group.out.stop
+                lo = bisect_left(rows, start)
+                hi = bisect_left(rows, stop)
+                if hi == lo:
+                    continue
+                if hi - lo == stop - start:
+                    groups.append(group)
+                    continue
+                keep = np.array(rows[lo:hi], dtype=np.intp) - start
+            else:
+                # Patched groups scatter through an index array; select
+                # members by membership in the (sorted) row list.
+                rows_arr = np.asarray(rows, dtype=np.intp)
+                pos = np.searchsorted(rows_arr, group.out_idx)
+                pos_clip = np.minimum(pos, rows_arr.size - 1)
+                mask = (pos < rows_arr.size) & (
+                    rows_arr[pos_clip] == group.out_idx
+                ) if rows_arr.size else np.zeros(group.out_idx.size, dtype=bool)
+                if not mask.any():
+                    continue
+                if mask.all():
+                    groups.append(group)
+                    continue
+                keep = np.nonzero(mask)[0]
+            out_idx = group.out_idx[keep]
+            groups.append(
+                GateGroup(
+                    level=group.level,
+                    gate_type=group.gate_type,
+                    out_idx=out_idx,
+                    in_idx=group.in_idx[keep],
+                    out=out_idx,
+                )
+            )
+        return tuple(groups)
+
+    def dff_fire_schedule(
+        self, fired: Tuple[int, ...]
+    ) -> Optional[Tuple[GateGroup, ...]]:
+        """Sub-schedule for a ripple re-settle after ``fired`` DFFs latched.
+
+        ``fired`` holds indices into ``dff_idx`` (sorted, as produced by
+        ``np.nonzero``).  Only the union of the fired DFFs' fanout cones can
+        change when their state rows are reloaded, so re-settling just those
+        rows is exact.  Returns ``None`` when a full re-settle is cheaper
+        (the union covers most of the schedule).  Cached per fired set —
+        ripple workloads (counters) revisit a handful of sets.
+        """
+        cached = self._fire_cache.get(fired, _MISSING)
+        if cached is _MISSING:
+            rows: set = set()
+            for i in fired:
+                rows.update(self.cone_rows_at(int(self.dff_idx[i])))
+            n_scheduled = sum(group.out_idx.size for group in self.schedule)
+            if len(rows) >= _FIRE_FULL_FRACTION * max(n_scheduled, 1):
+                cached = None
+            else:
+                cached = self._subschedule_for_rows(sorted(rows))
+            if len(self._fire_cache) < _FIRE_CACHE_MAX:
+                self._fire_cache[fired] = cached
+        return cached
+
     def cone_schedule(self, net: str) -> ConeSchedule:
         """Cached fanout-cone sub-schedule for one fault site."""
         site = self.index[net]
         cached = self._cone_cache.get(site)
         if cached is None:
             rows = self.cone_rows(net)
-            groups: List[GateGroup] = []
-            for group in self.schedule:
-                if isinstance(group.out, slice):
-                    # Each full group owns one contiguous row run, so the
-                    # cone's (sorted) member rows inside it form one
-                    # bisectable span.
-                    start, stop = group.out.start, group.out.stop
-                    lo = bisect_left(rows, start)
-                    hi = bisect_left(rows, stop)
-                    if hi == lo:
-                        continue
-                    if hi - lo == stop - start:
-                        groups.append(group)
-                        continue
-                    keep = np.array(rows[lo:hi], dtype=np.intp) - start
-                else:
-                    # Patched groups scatter through an index array; select
-                    # cone members by membership in the (sorted) row list.
-                    rows_arr = np.asarray(rows, dtype=np.intp)
-                    pos = np.searchsorted(rows_arr, group.out_idx)
-                    pos_clip = np.minimum(pos, rows_arr.size - 1)
-                    mask = (pos < rows_arr.size) & (
-                        rows_arr[pos_clip] == group.out_idx
-                    ) if rows_arr.size else np.zeros(group.out_idx.size, dtype=bool)
-                    if not mask.any():
-                        continue
-                    if mask.all():
-                        groups.append(group)
-                        continue
-                    keep = np.nonzero(mask)[0]
-                out_idx = group.out_idx[keep]
-                groups.append(
-                    GateGroup(
-                        level=group.level,
-                        gate_type=group.gate_type,
-                        out_idx=out_idx,
-                        in_idx=group.in_idx[keep],
-                        out=out_idx,
-                    )
-                )
             cached = ConeSchedule(
                 site=site,
-                groups=tuple(groups),
+                groups=self._subschedule_for_rows(rows),
                 rows=np.array(rows, dtype=np.intp),
                 po_rows=np.array(
                     [i for i in rows if i in self.po_set], dtype=np.intp
@@ -631,6 +682,7 @@ def _build_patched(
         comp._edge_starts, comp._edge_dst = parent._edge_starts, parent._edge_dst
     comp._cone_cache = {}
     comp._cone_rows_cache = {}
+    comp._fire_cache = {}
     return comp
 
 

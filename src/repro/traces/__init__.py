@@ -1,0 +1,71 @@
+"""Side-channel trace lab: per-cycle power traces, noise models, detectors.
+
+Four layers (see :mod:`repro.traces.generator`, :mod:`~repro.traces.noise`,
+:mod:`~repro.traces.detectors`, :mod:`~repro.traces.lab`):
+
+1. **generation** — :class:`TraceGenerator` turns compiled-engine toggle
+   tensors into per-cycle switching-energy traces, weighted by the same
+   per-net cell energies the aggregate power model integrates;
+2. **measurement** — composable, seeded :class:`NoiseModel` s (sensor noise,
+   process variation, ADC quantization, trigger jitter);
+3. **detection** — TVLA-style Welch t-tests plus difference-of-means and
+   Pearson-correlation distinguishers keyed on hypothesized trigger
+   activity, calibrated like the aggregate baselines;
+4. **evaluation** — :func:`trace_evasion_experiment`, the ``"traces"``
+   detector suite of :mod:`repro.api`, reporting the standard
+   :class:`~repro.detect.evaluate.EvasionReport` verdict schema.
+"""
+
+from .detectors import (
+    CorrTraceDetector,
+    DomTraceDetector,
+    LeakageAssessment,
+    TvlaTraceDetector,
+    leakage_assessment,
+    welch_t_statistic,
+)
+from .generator import TraceBatch, TraceGenerator, cone_watch_nets
+from .lab import (
+    TraceEvasionReport,
+    TraceLabConfig,
+    defender_hypotheses,
+    measure_chip,
+    random_stimuli,
+    trace_detector_suite,
+    trace_evasion_experiment,
+    trace_population,
+)
+from .noise import (
+    GaussianNoise,
+    Jitter,
+    NoiseChain,
+    NoiseModel,
+    ProcessVariation,
+    Quantization,
+)
+
+__all__ = [
+    "TraceGenerator",
+    "TraceBatch",
+    "cone_watch_nets",
+    "NoiseModel",
+    "GaussianNoise",
+    "ProcessVariation",
+    "Quantization",
+    "Jitter",
+    "NoiseChain",
+    "welch_t_statistic",
+    "leakage_assessment",
+    "LeakageAssessment",
+    "TvlaTraceDetector",
+    "DomTraceDetector",
+    "CorrTraceDetector",
+    "TraceLabConfig",
+    "TraceEvasionReport",
+    "trace_evasion_experiment",
+    "trace_detector_suite",
+    "trace_population",
+    "measure_chip",
+    "random_stimuli",
+    "defender_hypotheses",
+]

@@ -1,0 +1,132 @@
+"""Composable measurement models for power traces.
+
+A :class:`NoiseModel` maps a ``(n_traces, n_cycles)`` energy-trace batch to
+what the tester actually records.  Models compose through
+:class:`NoiseChain` and are *pure* given an RNG — every draw comes from the
+``numpy.random.Generator`` the caller passes, so campaign runs seeded
+through :func:`repro.core.pipeline.derive_seed` stay bit-identical between
+serial and sharded execution.
+
+Convention: one ``apply`` call models one *acquisition* — typically all
+traces captured from one die.  Chip-correlated effects
+(:class:`ProcessVariation`'s gain) therefore draw once per call, while
+sample noise draws per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..detect.variation import VariationModel
+
+
+class NoiseModel:
+    """Base class: transform a trace batch, drawing from ``rng`` only."""
+
+    def apply(self, traces: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GaussianNoise(NoiseModel):
+    """Additive sensor noise: absolute sigma plus a mean-relative component."""
+
+    sigma_fj: float = 0.0
+    #: Extra sigma as a fraction of the batch's mean sample (scales with the
+    #: circuit instead of requiring per-circuit tuning).
+    sigma_rel: float = 0.0
+
+    def apply(self, traces: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        scale = self.sigma_fj + self.sigma_rel * float(np.mean(traces)) if traces.size else 0.0
+        if scale <= 0.0:
+            return np.array(traces, dtype=np.float64, copy=True)
+        return traces + rng.normal(0.0, scale, size=traces.shape)
+
+
+@dataclass(frozen=True)
+class ProcessVariation(NoiseModel):
+    """Trace-level process/measurement spread from a :class:`VariationModel`.
+
+    One multiplicative gain per acquisition (``dynamic_sigma``, clipped like
+    the aggregate sampler) models chip-wide capacitance/slew variation, plus
+    per-sample relative measurement noise (``measurement_noise``) — the
+    trace analogue of :meth:`PopulationSampler.sample_chip`'s ``noisy``.
+    Prefer :meth:`TraceGenerator.chip_weights` when per-*net* variation is
+    wanted; this model is for trace-only pipelines.
+    """
+
+    model: VariationModel = field(default_factory=VariationModel)
+
+    def apply(self, traces: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        gain = float(np.clip(rng.normal(1.0, self.model.dynamic_sigma), 0.5, 1.5))
+        out = traces * gain
+        if self.model.measurement_noise > 0.0:
+            out = out * (
+                1.0 + rng.normal(0.0, self.model.measurement_noise, size=traces.shape)
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class Quantization(NoiseModel):
+    """ADC quantization to ``bits`` levels over ``[0, full_scale_fj]``.
+
+    ``full_scale_fj=None`` scales to the batch maximum — fine for one-off
+    analysis, but fix the scale when comparing populations so every chip is
+    digitized identically.
+    """
+
+    bits: int = 12
+    full_scale_fj: Optional[float] = None
+
+    def apply(self, traces: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.bits <= 0:
+            return np.array(traces, dtype=np.float64, copy=True)
+        full_scale = self.full_scale_fj
+        if full_scale is None:
+            full_scale = float(traces.max()) if traces.size else 1.0
+        if full_scale <= 0.0:
+            return np.zeros_like(traces, dtype=np.float64)
+        lsb = full_scale / float((1 << self.bits) - 1)
+        clipped = np.clip(traces, 0.0, full_scale)
+        return np.round(clipped / lsb) * lsb
+
+
+@dataclass(frozen=True)
+class Jitter(NoiseModel):
+    """Trace misalignment: each trace circularly shifts by up to ``max_shift_cycles``.
+
+    Models acquisition-trigger jitter.  Shifts draw uniformly from
+    ``[-max_shift_cycles, +max_shift_cycles]``; traces sharing a shift are
+    rolled together (one pass per distinct shift, not per trace).
+    """
+
+    max_shift_cycles: int = 1
+
+    def apply(self, traces: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.max_shift_cycles <= 0:
+            return np.array(traces, dtype=np.float64, copy=True)
+        shifts = rng.integers(
+            -self.max_shift_cycles, self.max_shift_cycles + 1, size=traces.shape[0]
+        )
+        out = np.empty_like(traces, dtype=np.float64)
+        for shift in np.unique(shifts):
+            mask = shifts == shift
+            out[mask] = np.roll(traces[mask], int(shift), axis=1)
+        return out
+
+
+@dataclass(frozen=True)
+class NoiseChain(NoiseModel):
+    """Apply a sequence of noise models left to right."""
+
+    stages: Tuple[NoiseModel, ...] = ()
+
+    def apply(self, traces: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = np.array(traces, dtype=np.float64, copy=True)
+        for stage in self.stages:
+            out = stage.apply(out, rng)
+        return out

@@ -137,7 +137,7 @@ class TestRegistries:
         )
 
     def test_detector_suites_registered(self):
-        assert DETECTORS.names() == ["paper", "structural"]
+        assert DETECTORS.names() == ["paper", "structural", "traces"]
 
     def test_detect_seed_derivation(self):
         assert detect_seed_for(None) == 37  # legacy fixed seed

@@ -103,9 +103,11 @@ class TestCombTrojan:
             insert_comb_trojan(c17_circuit, "N22", ["N1"], trigger_polarity=[1, 0])
 
     def test_additive_burden_chains(self, c432_circuit):
-        added = insert_additive_burden(c432_circuit, 8)
+        # Copy: the fixture is session-scoped and must stay HT-free.
+        circuit = c432_circuit.copy()
+        added = insert_additive_burden(circuit, 8)
         assert len(added) == 8
-        assert_valid(c432_circuit)
+        assert_valid(circuit)
 
 
 class TestLibraryAndPadding:
@@ -128,11 +130,14 @@ class TestLibraryAndPadding:
         from repro.power import analyze
 
         design = TrojanDesign("counter3", "counter", 3)
-        before = analyze(c432_circuit, library)
+        # Copy: instantiate() adds DFFs, which must not leak into the
+        # session-scoped combinational fixture.
+        circuit = c432_circuit.copy()
+        before = analyze(circuit, library)
         victim = "g40_g"
-        assert c432_circuit.has_net(victim)
-        design.instantiate(c432_circuit, victim, [c432_circuit.inputs[0]])
-        after = analyze(c432_circuit, library)
+        assert circuit.has_net(victim)
+        design.instantiate(circuit, victim, [circuit.inputs[0]])
+        after = analyze(circuit, library)
         est_area, est_leak = design.estimated_cost(library)
         actual_area = after.area_um2 - before.area_um2
         assert actual_area == pytest.approx(est_area, rel=0.5)
@@ -152,10 +157,11 @@ class TestLibraryAndPadding:
     def test_dummy_gates_have_no_fanout_and_add_power(self, c432_circuit, library):
         from repro.power import analyze
 
-        before = analyze(c432_circuit, library)
-        added = insert_dummy_gates(c432_circuit, 5)
-        after = analyze(c432_circuit, library)
-        assert all(not c432_circuit.fanout(n) for n in added)
+        circuit = c432_circuit.copy()
+        before = analyze(circuit, library)
+        added = insert_dummy_gates(circuit, 5)
+        after = analyze(circuit, library)
+        assert all(not circuit.fanout(n) for n in added)
         assert after.area_um2 > before.area_um2
         assert after.dynamic_uw > before.dynamic_uw
 
@@ -167,9 +173,10 @@ class TestLibraryAndPadding:
     def test_filler_cells_add_area_but_no_dynamic(self, c432_circuit, library):
         from repro.power import analyze
 
-        before = analyze(c432_circuit, library)
-        insert_filler_cells(c432_circuit, 6)
-        after = analyze(c432_circuit, library)
+        circuit = c432_circuit.copy()
+        before = analyze(circuit, library)
+        insert_filler_cells(circuit, 6)
+        after = analyze(circuit, library)
         assert after.area_um2 > before.area_um2
         assert after.dynamic_uw == pytest.approx(before.dynamic_uw)
         assert after.leakage_uw > before.leakage_uw
