@@ -19,6 +19,7 @@ Quickstart::
         print(record.benchmark, record.spec.pth, record.success, record.pft)
 """
 
+from .chaos import CHAOS_ENV_VAR, ChaosSpec, FaultInjector, TransientChaosError
 from .registry import (
     CIRCUITS,
     DETECTORS,
@@ -35,11 +36,24 @@ from .runner import (
     ExperimentRecord,
     detect_seed_for,
     execute_experiment,
+    iter_records,
     load_records,
     run_campaign,
     run_experiment,
 )
-from .spec import TABLE1_PARAMETERS, CampaignSpec, ExperimentSpec
+from .fleet import (
+    CellSupervisor,
+    SupervisorStats,
+    classify_error,
+    retry_delay_s,
+)
+from .spec import (
+    TABLE1_PARAMETERS,
+    CampaignSpec,
+    ExperimentSpec,
+    FleetPolicy,
+    RetryPolicy,
+)
 
 __all__ = [
     "Registry",
@@ -51,14 +65,25 @@ __all__ = [
     "ExperimentSpec",
     "CampaignSpec",
     "TABLE1_PARAMETERS",
+    "FleetPolicy",
+    "RetryPolicy",
     "ExperimentRecord",
     "ExperimentOutcome",
     "CampaignRunner",
     "CampaignResult",
+    "CellSupervisor",
+    "SupervisorStats",
+    "ChaosSpec",
+    "FaultInjector",
+    "TransientChaosError",
+    "CHAOS_ENV_VAR",
+    "classify_error",
+    "retry_delay_s",
     "run_experiment",
     "execute_experiment",
     "run_campaign",
     "load_records",
+    "iter_records",
     "detect_seed_for",
     "RECORD_SCHEMA_VERSION",
 ]

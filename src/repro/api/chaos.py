@@ -1,0 +1,214 @@
+"""Seeded fault injection for campaign execution.
+
+The fault-tolerance layer in :mod:`repro.api.fleet` is only trustworthy if
+real failures can be produced on demand, deterministically, in tests and CI.
+:class:`FaultInjector` drives four fault kinds from a frozen, serializable
+:class:`ChaosSpec`:
+
+``kill``
+    ``SIGKILL`` the worker process before the cell runs — the parent sees a
+    ``BrokenProcessPool`` exactly as with an OOM-killed or segfaulted worker.
+``hang``
+    Sleep ``hang_s`` seconds before the cell runs — wedges the worker past
+    any per-cell timeout.
+``error``
+    Raise :class:`TransientChaosError` — a retryable in-cell failure.
+``truncate``
+    Parent-side: after the matching cell's JSONL record is written, chop the
+    file mid-line, emulating a crash during the write.  Truncating a
+    non-final record makes the partial line merge with the next append; both
+    affected cells simply re-run on ``resume`` (strict=False parsing skips
+    the garbage line).
+
+Cells are selected either explicitly (``*_cells`` substring selectors
+matched against :meth:`ExperimentSpec.cell_id`) or probabilistically
+(``*_prob``); the probabilistic draw is seeded per ``(seed, kind, cell)``
+so the injection plan is a pure function of the spec — independent of
+worker scheduling or completion order.  Faults fire only on attempts
+``<= max_attempt`` so a killed cell's retry can succeed (set ``max_attempt``
+high to fault every attempt and drive a cell to retry exhaustion).
+
+In *serial* (in-process) execution, ``kill`` and ``hang`` are downgraded to
+:class:`TransientChaosError`: a real ``SIGKILL`` would take the campaign
+(and the test runner) down with it, and an in-process hang could never be
+preempted.
+
+The ``REPRO_CHAOS`` environment variable holds a JSON :class:`ChaosSpec`
+and is read by :class:`~repro.api.runner.CampaignRunner` at ``run()`` time,
+so CI smoke tests can chaos-test the real CLI without new flags::
+
+    REPRO_CHAOS='{"seed": 0, "kill_cells": ["pth=0.9|"]}' \\
+        python -m repro campaign --circuits c17 --pths 0.9,0.95 --jobs 2 ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import zlib
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .spec import _check_known_keys
+
+#: Environment variable holding a JSON-encoded :class:`ChaosSpec`.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Stable sub-stream index per fault kind for the seeded selection draw.
+_KIND_INDEX = {"kill": 0, "hang": 1, "error": 2, "truncate": 3}
+
+
+class TransientChaosError(Exception):
+    """Injected retryable failure (also the serial downgrade of kill/hang)."""
+
+
+def _cell_key(cell_id: str) -> int:
+    """Stable 32-bit key for a cell id (seeds must be ints)."""
+    return zlib.crc32(cell_id.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Declarative, seeded fault-injection plan (JSON round-trippable).
+
+    ``*_cells`` are substring selectors matched against the target cell id
+    (e.g. ``"pth=0.9|"`` or ``"circuit=c432"``); ``*_prob`` add seeded
+    per-cell random selection on top.
+    """
+
+    seed: int = 0
+    kill_cells: Tuple[str, ...] = ()
+    hang_cells: Tuple[str, ...] = ()
+    error_cells: Tuple[str, ...] = ()
+    truncate_cells: Tuple[str, ...] = ()
+    kill_prob: float = 0.0
+    hang_prob: float = 0.0
+    error_prob: float = 0.0
+    #: Seconds a ``hang`` fault sleeps (pick well past the cell timeout; the
+    #: sleeping worker is hard-killed on pool recycle, never waited out).
+    hang_s: float = 30.0
+    #: Faults fire only on attempts ``<= max_attempt``.
+    max_attempt: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("kill_prob", "hang_prob", "error_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.hang_s < 0:
+            raise ValueError(f"hang_s must be >= 0, got {self.hang_s}")
+        if self.max_attempt < 1:
+            raise ValueError(f"max_attempt must be >= 1, got {self.max_attempt}")
+        # JSON round-trips lists; selectors are canonically tuples.
+        for name in ("kill_cells", "hang_cells", "error_cells", "truncate_cells"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        for name in ("kill_cells", "hang_cells", "error_cells", "truncate_cells"):
+            data[name] = list(data[name])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSpec":
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_env(cls, env_var: str = CHAOS_ENV_VAR) -> Optional["ChaosSpec"]:
+        """The spec in ``$REPRO_CHAOS``, or ``None`` when unset/empty."""
+        raw = os.environ.get(env_var, "").strip()
+        if not raw:
+            return None
+        try:
+            return cls.from_json(raw)
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            raise ValueError(f"invalid {env_var} chaos spec: {exc}") from exc
+
+
+class FaultInjector:
+    """Executes a :class:`ChaosSpec` against campaign cells.
+
+    One injector lives in the supervisor parent (truncation faults) and one
+    is rebuilt per worker invocation from the serialized spec (kill / hang /
+    error faults); both derive every decision from the spec alone, so the
+    plan is identical everywhere.
+    """
+
+    def __init__(self, spec: ChaosSpec, serial: bool = False):
+        self.spec = spec
+        self.serial = serial
+        self._truncated = set()
+
+    def should_fire(self, kind: str, cell_id: str, attempt: int = 1) -> bool:
+        """Deterministic: does ``kind`` fire for this cell/attempt?"""
+        if attempt > self.spec.max_attempt:
+            return False
+        if any(sel in cell_id for sel in getattr(self.spec, f"{kind}_cells")):
+            return True
+        prob = getattr(self.spec, f"{kind}_prob", 0.0)
+        if prob <= 0.0:
+            return False
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [self.spec.seed, _KIND_INDEX[kind], _cell_key(cell_id)]
+            )
+        )
+        return bool(rng.random() < prob)
+
+    def fire(self, cell_id: str, attempt: int) -> None:
+        """Execute worker-side faults (kill / hang / error) for this cell.
+
+        Called at the top of the worker entry point, before the cell runs.
+        """
+        if self.should_fire("kill", cell_id, attempt):
+            if self.serial:
+                raise TransientChaosError(
+                    f"chaos kill (serial downgrade) attempt {attempt}"
+                )
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.should_fire("hang", cell_id, attempt):
+            if self.serial:
+                raise TransientChaosError(
+                    f"chaos hang (serial downgrade) attempt {attempt}"
+                )
+            time.sleep(self.spec.hang_s)
+        if self.should_fire("error", cell_id, attempt):
+            raise TransientChaosError(f"chaos transient error attempt {attempt}")
+
+    def take_truncate(self, cell_id: str) -> bool:
+        """True exactly once per matching cell: the caller should chop the
+        just-written JSONL record mid-line (crash-during-write emulation)."""
+        if cell_id in self._truncated:
+            return False
+        if not self.should_fire("truncate", cell_id, attempt=1):
+            return False
+        self._truncated.add(cell_id)
+        return True
+
+
+def truncate_jsonl_tail(path, keep_back: int) -> None:
+    """Chop the last ``keep_back`` bytes off a JSONL file (crash emulation).
+
+    Byte-level so it works regardless of the text-mode handle still holding
+    the file open in append mode (``O_APPEND`` writes land at the true end
+    of file even after an external truncate).
+    """
+    with open(path, "rb+") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        handle.truncate(max(0, size - keep_back))

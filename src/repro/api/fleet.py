@@ -1,0 +1,479 @@
+"""Supervised campaign execution: worker death, timeouts, retries, breakers.
+
+The plain ``ProcessPoolExecutor`` path dies wholesale when anything goes
+wrong below it: one ``SIGKILL``-ed worker breaks the pool and every future
+in it, a wedged cell stalls the campaign forever, and a transient I/O error
+burns its cell permanently.  :class:`CellSupervisor` is the layer between
+:class:`~repro.api.runner.CampaignRunner` and the pool that makes a
+campaign survive all of that:
+
+* **Worker death** — ``BrokenProcessPool``/``BrokenExecutor`` is caught,
+  completed-but-unconsumed futures are drained into the record stream (their
+  results survive a broken pool), the pool is rebuilt, and in-flight cells
+  are requeued.
+* **Per-cell timeout** — each submitted cell carries a wall-clock deadline
+  (``FleetPolicy.timeout_s``).  An overdue cell is treated as wedged: the
+  pool's processes are hard-killed and rebuilt (the only portable way to
+  reclaim a worker stuck in native code or ``sleep``), the overdue cell is
+  charged a ``timeout`` failure, and innocent in-flight siblings requeue
+  uncharged.
+* **Retry with seeded backoff** — failures are classified by
+  :func:`classify_error`: *transient* kinds (worker death, timeout,
+  ``OSError``, injected chaos) retry up to ``RetryPolicy.max_retries`` times
+  with exponential backoff and **seeded** jitter (:func:`retry_delay_s`
+  derives the delay from the spec via ``numpy.random.SeedSequence``, so
+  retry schedules are bit-reproducible); *deterministic* pipeline exceptions
+  become error records immediately — re-running a pure function of the spec
+  cannot help.
+* **Circuit breaker** — after ``FleetPolicy.max_errors`` error records the
+  supervisor stops submitting, drains what is in flight, and finalizes
+  normally, so the JSONL sink always ends in a consistent state.
+* **Graceful degradation** — after ``max_pool_rebuilds`` pool collapses the
+  remaining cells run serially in-process (chaos kills/hangs are downgraded
+  to retryable exceptions there; see :mod:`repro.api.chaos`).
+
+Everything the supervisor adds to a record lives under
+``ExperimentRecord.runtime`` (``attempts`` / ``retry_history`` /
+``worker_recycles``), which is excluded from ``payload_dict()`` — so the
+parallel == serial payload-bit-parity guarantee survives arbitrary fault
+schedules (asserted under chaos in ``tests/test_fleet.py``).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set
+
+import numpy as np
+
+from .chaos import ChaosSpec, FaultInjector, TransientChaosError
+from .runner import ExperimentRecord, run_experiment
+from .spec import ExperimentSpec, FleetPolicy, RetryPolicy
+
+#: Sub-seed index for retry-backoff jitter (the pipeline owns indices 0-3;
+#: see ``repro.core.pipeline.SEED_ATPG`` .. ``SEED_DETECT``).
+SEED_RETRY = 4
+
+
+class CellTimeout(TimeoutError):
+    """A cell exceeded its per-cell wall-clock budget (parent-side)."""
+
+
+#: Exceptions a worker lets propagate so the supervisor can retry the cell;
+#: anything else is a deterministic cell failure and becomes an error record
+#: in the worker itself.  ``TimeoutError`` is an ``OSError`` subclass, so
+#: this tuple is the transitive transient set.
+TRANSIENT_EXCEPTIONS = (OSError, TransientChaosError, BrokenExecutor)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Error taxonomy: map an exception to a retry class.
+
+    ``worker-death`` / ``timeout`` / ``chaos-transient`` / ``transient-io``
+    retry under the :class:`~repro.api.spec.RetryPolicy`;
+    ``deterministic`` never retries.
+    """
+    if isinstance(exc, BrokenExecutor):
+        return "worker-death"
+    if isinstance(exc, (CellTimeout, TimeoutError)):
+        return "timeout"
+    if isinstance(exc, TransientChaosError):
+        return "chaos-transient"
+    if isinstance(exc, OSError):
+        return "transient-io"
+    return "deterministic"
+
+
+def is_transient(kind: str) -> bool:
+    return kind != "deterministic"
+
+
+def retry_delay_s(policy: RetryPolicy, spec: ExperimentSpec, attempt: int) -> float:
+    """Backoff before retrying ``attempt`` (1-based) of ``spec``'s cell.
+
+    Exponential in the attempt number, jittered by a seeded uniform draw —
+    a pure function of (spec, attempt), so two runs of the same campaign
+    produce bit-identical retry schedules.
+    """
+    cell_key = zlib.crc32(spec.cell_id().encode("utf-8"))
+    base_seed = spec.seed if spec.seed is not None else cell_key
+    base = min(
+        policy.backoff_max_s,
+        policy.backoff_s * policy.backoff_mult ** (attempt - 1),
+    )
+    if policy.jitter == 0.0 or base == 0.0:
+        return base
+    rng = np.random.default_rng(
+        np.random.SeedSequence([base_seed, SEED_RETRY, cell_key, attempt])
+    )
+    return base * (1.0 + policy.jitter * float(rng.random()))
+
+
+def _execute_cell_dict(spec: ExperimentSpec) -> dict:
+    """Run one cell; deterministic failures become error-record dicts,
+    transient failures propagate for the supervisor to classify and retry."""
+    try:
+        return run_experiment(spec).to_dict()
+    except TRANSIENT_EXCEPTIONS:
+        raise
+    except Exception as exc:  # noqa: BLE001 — deterministic cell failure
+        return ExperimentRecord.failed(spec, f"{type(exc).__name__}: {exc}").to_dict()
+
+
+def _fleet_worker(
+    spec_dict: dict, attempt: int, chaos_dict: Optional[dict] = None
+) -> dict:
+    """Picklable supervised-worker entry: dict in, dict out.
+
+    Chaos faults (if any) fire before the cell runs, from a spec rebuilt in
+    the worker so the injection plan is identical in every process.
+    """
+    spec = ExperimentSpec.from_dict(spec_dict)
+    if chaos_dict is not None:
+        FaultInjector(ChaosSpec.from_dict(chaos_dict)).fire(spec.cell_id(), attempt)
+    return _execute_cell_dict(spec)
+
+
+@dataclass
+class _CellState:
+    """Supervisor-side bookkeeping for one cell across attempts."""
+
+    spec: ExperimentSpec
+    #: 1-based attempt number of the current/next execution.
+    attempt: int = 1
+    #: Monotonic time before which the cell must not be resubmitted.
+    ready_at: float = 0.0
+    #: Pool recycles that interrupted this cell (charged or not).
+    recycles: int = 0
+    history: List[Dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class SupervisorStats:
+    """Aggregate fault-tolerance counters for one supervised run."""
+
+    pool_rebuilds: int = 0
+    worker_deaths: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    errors: int = 0
+    degraded_to_serial: bool = False
+    aborted: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class CellSupervisor:
+    """Fault-tolerant execution of experiment cells over a worker pool.
+
+    Parameters
+    ----------
+    specs:
+        Cells in submission order (the caller owns ordering concerns such
+        as circuit-major compile-cache warmth).
+    jobs:
+        Worker processes; ``<= 1`` (or a single cell) runs serially
+        in-process under the same retry/breaker machinery.
+    policy:
+        :class:`~repro.api.spec.FleetPolicy` (defaults if ``None``).
+    chaos:
+        Optional :class:`~repro.api.chaos.ChaosSpec` driving deterministic
+        fault injection in the workers.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ExperimentSpec],
+        jobs: int = 1,
+        policy: Optional[FleetPolicy] = None,
+        chaos: Optional[ChaosSpec] = None,
+    ):
+        self.jobs = jobs
+        self.policy = policy or FleetPolicy()
+        self.chaos = chaos
+        self.stats = SupervisorStats()
+        self._queue: deque[_CellState] = deque(_CellState(spec=s) for s in specs)
+
+    # -- public --------------------------------------------------------
+    def iter_records(self) -> Iterator[ExperimentRecord]:
+        """Yield one record per cell as cells finish (or exhaust retries)."""
+        if self.jobs <= 1 or len(self._queue) <= 1:
+            yield from self._iter_serial()
+        else:
+            yield from self._iter_pool()
+
+    # -- shared helpers ------------------------------------------------
+    def _tripped(self) -> bool:
+        return (
+            self.policy.max_errors is not None
+            and self.stats.errors >= self.policy.max_errors
+        )
+
+    def _abort_remaining(self) -> None:
+        self.stats.aborted = (
+            f"circuit breaker: {self.stats.errors} error records "
+            f"(max_errors={self.policy.max_errors}); "
+            f"{len(self._queue)} cells not run"
+        )
+        self._queue.clear()
+
+    def _pop_ready(self, now: float) -> Optional[_CellState]:
+        for i, st in enumerate(self._queue):
+            if st.ready_at <= now:
+                del self._queue[i]
+                return st
+        return None
+
+    def _finalize(self, rec_dict: dict, st: _CellState) -> ExperimentRecord:
+        """Attach supervision artifacts to the (non-payload) runtime section."""
+        runtime = dict(rec_dict.get("runtime") or {})
+        runtime["attempts"] = st.attempt
+        runtime["retry_history"] = list(st.history)
+        runtime["worker_recycles"] = st.recycles
+        rec_dict = dict(rec_dict)
+        rec_dict["runtime"] = runtime
+        record = ExperimentRecord.from_dict(rec_dict)
+        if record.error is not None:
+            self.stats.errors += 1
+        return record
+
+    def _final_error(self, st: _CellState, message: str) -> ExperimentRecord:
+        return self._finalize(
+            ExperimentRecord.failed(st.spec, message).to_dict(), st
+        )
+
+    def _charge(
+        self, st: _CellState, kind: str, message: str
+    ) -> Optional[ExperimentRecord]:
+        """Record a failed attempt; requeue with backoff or emit the final
+        error record when the retry budget (or taxonomy) says stop."""
+        if kind == "worker-death":
+            self.stats.worker_deaths += 1
+        elif kind == "timeout":
+            self.stats.timeouts += 1
+        entry: Dict[str, Any] = {"attempt": st.attempt, "kind": kind, "error": message}
+        if not is_transient(kind) or st.attempt >= self.policy.max_attempts:
+            st.history.append(entry)
+            return self._final_error(st, message)
+        delay = retry_delay_s(self.policy.retry, st.spec, st.attempt)
+        entry["delay_s"] = round(delay, 6)
+        st.history.append(entry)
+        st.attempt += 1
+        st.ready_at = time.monotonic() + delay
+        self.stats.retries += 1
+        self._queue.append(st)
+        return None
+
+    # -- serial path ---------------------------------------------------
+    def _iter_serial(self) -> Iterator[ExperimentRecord]:
+        injector = (
+            FaultInjector(self.chaos, serial=True) if self.chaos is not None else None
+        )
+        while self._queue:
+            if self._tripped():
+                self._abort_remaining()
+                return
+            now = time.monotonic()
+            st = self._pop_ready(now)
+            if st is None:
+                time.sleep(
+                    max(0.0, min(s.ready_at for s in self._queue) - now)
+                )
+                continue
+            try:
+                if injector is not None:
+                    injector.fire(st.spec.cell_id(), st.attempt)
+                rec_dict = _execute_cell_dict(st.spec)
+            except TRANSIENT_EXCEPTIONS as exc:
+                record = self._charge(
+                    st, classify_error(exc), f"{type(exc).__name__}: {exc}"
+                )
+                if record is not None:
+                    yield record
+                continue
+            yield self._finalize(rec_dict, st)
+
+    # -- pool path -----------------------------------------------------
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    @staticmethod
+    def _kill_pool(executor: ProcessPoolExecutor) -> None:
+        """Hard-kill every worker and tear the executor down.
+
+        The only portable way to reclaim a worker wedged in native code or
+        ``sleep``; ``SIGKILL``-ed processes join promptly, so a blocking
+        shutdown is safe.
+        """
+        for proc in list((getattr(executor, "_processes", None) or {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # noqa: BLE001 — already-dead worker
+                pass
+        try:
+            executor.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # noqa: BLE001 — broken pools may raise on shutdown
+            pass
+
+    def _consume(
+        self, fut: Future, st: _CellState, emit: List[ExperimentRecord]
+    ) -> bool:
+        """Resolve one completed future; returns True if the pool is broken."""
+        exc = fut.exception()
+        if exc is None:
+            emit.append(self._finalize(fut.result(), st))
+            return False
+        if isinstance(exc, BrokenExecutor):
+            st.recycles += 1
+        kind = classify_error(exc)
+        record = self._charge(st, kind, f"{type(exc).__name__}: {exc}")
+        if record is not None:
+            emit.append(record)
+        return isinstance(exc, BrokenExecutor)
+
+    def _recycle(
+        self,
+        executor: ProcessPoolExecutor,
+        in_flight: Dict[Future, _CellState],
+        deadlines: Dict[Future, float],
+        overdue: Set[Future],
+        pool_broken: bool,
+        emit: List[ExperimentRecord],
+    ) -> None:
+        """Tear the pool down and requeue/settle every in-flight cell.
+
+        Completed futures are drained first — results computed before the
+        collapse are retrievable from a broken pool and must reach the sink
+        rather than be recomputed.
+        """
+        for fut in [f for f in list(in_flight) if f.done()]:
+            st = in_flight.pop(fut)
+            deadlines.pop(fut, None)
+            pool_broken |= self._consume(fut, st, emit)
+        self._kill_pool(executor)
+        for fut, st in list(in_flight.items()):
+            st.recycles += 1
+            if fut in overdue:
+                record = self._charge(
+                    st,
+                    "timeout",
+                    f"CellTimeout: exceeded {self.policy.timeout_s}s wall clock "
+                    f"(attempt {st.attempt})",
+                )
+                if record is not None:
+                    emit.append(record)
+            elif pool_broken:
+                record = self._charge(
+                    st, "worker-death", "BrokenProcessPool: worker died mid-cell"
+                )
+                if record is not None:
+                    emit.append(record)
+            else:
+                # Collateral of a sibling's timeout: requeue without charging
+                # the cell's retry budget.
+                self._queue.appendleft(st)
+        in_flight.clear()
+        deadlines.clear()
+        self.stats.pool_rebuilds += 1
+
+    def _wait_timeout(
+        self, deadlines: Dict[Future, float], now: float
+    ) -> Optional[float]:
+        """How long ``wait()`` may block before a deadline or backoff expiry."""
+        candidates = [dl - now for dl in deadlines.values()]
+        candidates += [
+            st.ready_at - now for st in self._queue if st.ready_at > now
+        ]
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))
+
+    def _iter_pool(self) -> Iterator[ExperimentRecord]:
+        chaos_dict = self.chaos.to_dict() if self.chaos is not None else None
+        executor: Optional[ProcessPoolExecutor] = self._new_executor()
+        in_flight: Dict[Future, _CellState] = {}
+        deadlines: Dict[Future, float] = {}
+        try:
+            while self._queue or in_flight:
+                # Windowed submission (at most ``jobs`` in flight): per-cell
+                # deadlines start at submit time, so cells must not sit
+                # queued inside the executor behind busy workers.
+                submit_broken = False
+                if not self._tripped():
+                    now = time.monotonic()
+                    while len(in_flight) < self.jobs:
+                        st = self._pop_ready(now)
+                        if st is None:
+                            break
+                        try:
+                            fut = executor.submit(
+                                _fleet_worker, st.spec.to_dict(), st.attempt, chaos_dict
+                            )
+                        except BrokenExecutor:
+                            self._queue.appendleft(st)
+                            submit_broken = True
+                            break
+                        in_flight[fut] = st
+                        if self.policy.timeout_s is not None:
+                            deadlines[fut] = time.monotonic() + self.policy.timeout_s
+
+                emit: List[ExperimentRecord] = []
+                pool_broken = submit_broken
+                if in_flight:
+                    done, _ = wait(
+                        set(in_flight),
+                        timeout=self._wait_timeout(deadlines, time.monotonic()),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for fut in done:
+                        st = in_flight.pop(fut)
+                        deadlines.pop(fut, None)
+                        pool_broken |= self._consume(fut, st, emit)
+                elif not pool_broken:
+                    if self._tripped() or not self._queue:
+                        break
+                    # Every queued cell is waiting out its retry backoff.
+                    time.sleep(
+                        max(
+                            0.0,
+                            min(st.ready_at for st in self._queue)
+                            - time.monotonic(),
+                        )
+                    )
+                    continue
+
+                now = time.monotonic()
+                overdue = {f for f, dl in deadlines.items() if now >= dl}
+                if pool_broken or overdue:
+                    self._recycle(
+                        executor, in_flight, deadlines, overdue, pool_broken, emit
+                    )
+                    executor = None
+                    for record in emit:
+                        yield record
+                    if self.stats.pool_rebuilds > self.policy.max_pool_rebuilds:
+                        # Repeated collapse: the pool substrate itself is
+                        # suspect — finish in-process.
+                        self.stats.degraded_to_serial = True
+                        yield from self._iter_serial()
+                        return
+                    executor = self._new_executor()
+                else:
+                    for record in emit:
+                        yield record
+            if self._tripped() and self._queue:
+                self._abort_remaining()
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)

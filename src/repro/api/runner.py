@@ -27,10 +27,9 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from ..core.pipeline import (
     SEED_DETECT,
@@ -40,8 +39,9 @@ from ..core.pipeline import (
 )
 from ..detect import EvasionReport
 from ..power.analysis import PowerDelta, PowerReport
+from .chaos import ChaosSpec, FaultInjector, truncate_jsonl_tail
 from .registry import DETECTORS, resolve_circuit, resolve_designs
-from .spec import CampaignSpec, ExperimentSpec, _check_known_keys
+from .spec import CampaignSpec, ExperimentSpec, FleetPolicy, _check_known_keys
 
 #: Bump when ExperimentRecord's serialized layout changes incompatibly.
 RECORD_SCHEMA_VERSION = 1
@@ -306,17 +306,41 @@ def load_records(
     path: Union[str, Path], strict: bool = True
 ) -> List[ExperimentRecord]:
     """Parse a JSONL results file; ``strict`` raises on any invalid line,
-    otherwise invalid lines are skipped."""
+    otherwise invalid lines are skipped.
+
+    Streams line-by-line from the open handle: resume files grow with the
+    campaign grid and must never be slurped whole into memory.
+    """
     records: List[ExperimentRecord] = []
-    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
-        if not line.strip():
-            continue
-        try:
-            records.append(ExperimentRecord.from_json_line(line))
-        except (ValueError, TypeError, KeyError) as exc:
-            if strict:
-                raise ValueError(f"{path}:{lineno}: invalid record: {exc}") from exc
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(ExperimentRecord.from_json_line(line))
+            except (ValueError, TypeError, KeyError) as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid record: {exc}"
+                    ) from exc
     return records
+
+
+def iter_records(
+    path: Union[str, Path], strict: bool = True
+) -> "Iterator[ExperimentRecord]":
+    """Streaming variant of :func:`load_records` (one record at a time)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                yield ExperimentRecord.from_json_line(line)
+            except (ValueError, TypeError, KeyError) as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid record: {exc}"
+                    ) from exc
 
 
 def _missing_trailing_newline(path: Path) -> bool:
@@ -330,6 +354,26 @@ def _missing_trailing_newline(path: Path) -> bool:
         return f.read(1) != b"\n"
 
 
+def _trim_partial_tail(path: Path) -> None:
+    """Drop a crash-truncated partial final line (byte-level, scanning back
+    to the last complete newline) so the healed file parses strictly.  The
+    partial record's bytes are unrecoverable either way; its cell was never
+    counted done and re-runs."""
+    with open(path, "rb+") as handle:
+        handle.seek(0, 2)
+        pos = handle.tell()
+        while pos > 0:
+            step = min(4096, pos)
+            handle.seek(pos - step)
+            chunk = handle.read(step)
+            cut = chunk.rfind(b"\n")
+            if cut != -1:
+                handle.truncate(pos - step + cut + 1)
+                return
+            pos -= step
+        handle.truncate(0)
+
+
 @dataclass
 class CampaignResult:
     """Outcome of one :meth:`CampaignRunner.run` call."""
@@ -338,6 +382,10 @@ class CampaignResult:
     #: Cell ids skipped because a record already existed (``resume``).
     skipped: List[str] = field(default_factory=list)
     out_path: Optional[str] = None
+    #: Set when the ``max_errors`` circuit breaker stopped submission early.
+    aborted: Optional[str] = None
+    #: Supervisor fault-tolerance counters (pool rebuilds, retries, ...).
+    fleet: Optional[Dict[str, Any]] = None
 
     @property
     def errors(self) -> List[ExperimentRecord]:
@@ -355,6 +403,13 @@ class CampaignResult:
         ]
         if self.skipped:
             parts.append(f"{len(self.skipped)} skipped (resume)")
+        if self.fleet and (self.fleet.get("retries") or self.fleet.get("pool_rebuilds")):
+            parts.append(
+                f"{self.fleet['retries']} retries / "
+                f"{self.fleet['pool_rebuilds']} pool rebuilds"
+            )
+        if self.aborted:
+            parts.append(f"ABORTED ({self.aborted})")
         if self.out_path:
             parts.append(f"records -> {self.out_path}")
         return ", ".join(parts)
@@ -363,6 +418,13 @@ class CampaignResult:
 @dataclass
 class CampaignRunner:
     """Execute a :class:`CampaignSpec`, serially or across worker processes.
+
+    All execution routes through the supervised layer of
+    :mod:`repro.api.fleet`: worker death and per-cell timeouts recycle the
+    pool and requeue in-flight cells, transient failures retry with seeded
+    backoff, and a ``max_errors`` circuit breaker stops submission while
+    still finalizing the JSONL sink (see :class:`~repro.api.spec.
+    FleetPolicy` for the knobs).
 
     Parameters
     ----------
@@ -374,27 +436,40 @@ class CampaignRunner:
     resume:
         Skip cells whose :meth:`~repro.api.spec.ExperimentSpec.cell_id`
         already appears in ``out``.
+    policy:
+        Fault-tolerance policy (timeouts, retries, circuit breaker);
+        defaults to :class:`~repro.api.spec.FleetPolicy`'s defaults.
+    chaos:
+        Fault-injection spec for tests/CI; when ``None``, the
+        ``REPRO_CHAOS`` environment variable is consulted (see
+        :mod:`repro.api.chaos`).
     """
 
     campaign: CampaignSpec
     jobs: int = 1
     out: Optional[Union[str, Path]] = None
     resume: bool = False
+    policy: Optional[FleetPolicy] = None
+    chaos: Optional[ChaosSpec] = None
 
     def run(
         self, progress: Optional[Callable[[ExperimentRecord], None]] = None
     ) -> CampaignResult:
         if self.resume and self.out is None:
             raise ValueError("resume requires an output JSONL path")
+        chaos = self.chaos if self.chaos is not None else ChaosSpec.from_env()
         done_ids = set()
         if self.resume and Path(self.out).exists():
-            # Error records do not count as done: a cell that raised (worker
-            # death, transient I/O failure) must re-run on resume, exactly
-            # like a crash-truncated line.
+            # Last record wins: a cell can legitimately appear twice (error
+            # record then successful retry from a later resume).  Error
+            # records do not count as done — a cell whose *latest* outcome
+            # raised (worker death, transient I/O failure) must re-run,
+            # exactly like a crash-truncated line.
+            latest: Dict[str, ExperimentRecord] = {}
+            for rec in iter_records(self.out, strict=False):
+                latest[rec.spec.cell_id()] = rec
             done_ids = {
-                rec.spec.cell_id()
-                for rec in load_records(self.out, strict=False)
-                if rec.error is None
+                cell_id for cell_id, rec in latest.items() if rec.error is None
             }
         pending = [
             spec for spec in self.campaign if spec.cell_id() not in done_ids
@@ -404,53 +479,76 @@ class CampaignRunner:
         ]
 
         sink = None
+        truncator = FaultInjector(chaos) if chaos is not None else None
         if self.out is not None:
             out_path = Path(self.out)
             out_path.parent.mkdir(parents=True, exist_ok=True)
-            sink = open(self.out, "a", encoding="utf-8")
             if _missing_trailing_newline(out_path):
-                # A crash-truncated partial line must not swallow the first
-                # record this run appends; terminate it so the bad line stays
-                # isolated (strict=False parsing skips it, the cell re-runs).
-                sink.write("\n")
+                # A crash left a partial final line; trim it back to the
+                # last complete record so the healed file parses strictly
+                # (the partial cell was never counted done and re-runs).
+                _trim_partial_tail(out_path)
+            sink = open(self.out, "a", encoding="utf-8")
         records: List[ExperimentRecord] = []
+        sink_torn = False
         try:
-            for record in self._iter_records(pending):
+            for record in self._iter_records(pending, chaos):
                 records.append(record)
                 if sink is not None:
-                    sink.write(record.to_json_line() + "\n")
+                    if sink_torn:
+                        # A chaos truncation chopped the previous record
+                        # mid-line; start this one on a fresh line so the
+                        # damage stays confined to the record it hit.
+                        sink.write("\n")
+                        sink_torn = False
+                    line = record.to_json_line() + "\n"
+                    sink.write(line)
                     sink.flush()
+                    if truncator is not None and truncator.take_truncate(
+                        record.spec.cell_id()
+                    ):
+                        # Chaos: emulate a crash mid-write by chopping the
+                        # just-written record in half (byte-level; the
+                        # append-mode sink keeps writing at the true EOF).
+                        truncate_jsonl_tail(self.out, len(line) // 2 + 1)
+                        sink_torn = True
                 if progress is not None:
                     progress(record)
         finally:
             if sink is not None:
                 sink.close()
+        supervisor = getattr(self, "_last_supervisor", None)
         return CampaignResult(
             records=records,
             skipped=skipped,
             out_path=str(self.out) if self.out is not None else None,
+            aborted=supervisor.stats.aborted if supervisor is not None else None,
+            fleet=supervisor.stats.to_dict() if supervisor is not None else None,
         )
 
-    def _iter_records(self, pending: List[ExperimentSpec]):
+    def _iter_records(
+        self, pending: List[ExperimentSpec], chaos: Optional[ChaosSpec] = None
+    ):
+        # Lazy import: fleet builds on this module's primitives.
+        from .fleet import CellSupervisor
+
         if self.jobs <= 1 or len(pending) <= 1:
-            for spec in pending:
-                yield _run_cell(spec)
-            return
-        # One future per cell, yielded in completion order, so JSONL
-        # streaming / crash resume / progress are per cell and slow cells
-        # don't serialize behind a chunk.  Submission stays circuit-major:
-        # adjacent same-circuit cells drain through the pool while that
-        # circuit's compiled schedule is warm in at least one worker (the
-        # fingerprint-keyed cache is process-global, so each worker compiles
-        # a given circuit at most once per campaign).
-        ordered = sorted(pending, key=lambda s: s.circuit)
-        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
-            futures = [
-                executor.submit(_campaign_worker, spec.to_dict())
-                for spec in ordered
-            ]
-            for future in as_completed(futures):
-                yield ExperimentRecord.from_dict(future.result())
+            ordered = pending  # campaign order preserved in-process
+        else:
+            # Cells are supervised one future at a time, yielded in
+            # completion order, so JSONL streaming / crash resume / progress
+            # are per cell and slow cells don't serialize behind a chunk.
+            # Submission stays circuit-major: adjacent same-circuit cells
+            # drain through the pool while that circuit's compiled schedule
+            # is warm in at least one worker (the fingerprint-keyed cache is
+            # process-global, so each worker compiles a given circuit at
+            # most once per campaign).
+            ordered = sorted(pending, key=lambda s: s.circuit)
+        supervisor = CellSupervisor(
+            ordered, jobs=self.jobs, policy=self.policy, chaos=chaos
+        )
+        self._last_supervisor = supervisor
+        yield from supervisor.iter_records()
 
 
 def run_campaign(
@@ -459,6 +557,10 @@ def run_campaign(
     out: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[Callable[[ExperimentRecord], None]] = None,
+    policy: Optional[FleetPolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignRunner`."""
-    return CampaignRunner(campaign, jobs=jobs, out=out, resume=resume).run(progress)
+    return CampaignRunner(
+        campaign, jobs=jobs, out=out, resume=resume, policy=policy, chaos=chaos
+    ).run(progress)

@@ -111,6 +111,122 @@ class ExperimentSpec:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Retry schedule for *transient* cell failures.
+
+    Transient failures (worker death, per-cell timeout, ``OSError``, injected
+    chaos faults — see :func:`repro.api.fleet.classify_error`) are retried up
+    to ``max_retries`` times with exponential backoff; deterministic pipeline
+    exceptions are never retried (re-running a pure function of the spec
+    cannot change the outcome).  The backoff jitter is *seeded*: the delay for
+    a given (cell, attempt) is a pure function of the spec, so retry schedules
+    reproduce exactly across runs (asserted in ``tests/test_fleet.py``).
+
+    Attributes
+    ----------
+    max_retries:
+        Retries after the first attempt (total attempts = ``max_retries + 1``).
+    backoff_s:
+        Base delay before the first retry.
+    backoff_mult:
+        Exponential growth factor per further retry.
+    backoff_max_s:
+        Delay ceiling before jitter.
+    jitter:
+        Relative jitter span: the delay is scaled by a seeded uniform draw
+        from ``[1, 1 + jitter]``.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.25
+    backoff_mult: float = 2.0
+    backoff_max_s: float = 30.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_mult < 1.0:
+            raise ValueError(f"backoff_mult must be >= 1, got {self.backoff_mult}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """Fault-tolerance policy for supervised campaign execution.
+
+    Consumed by :class:`repro.api.fleet.CellSupervisor`; every
+    :class:`~repro.api.runner.CampaignRunner` run resolves to one of these
+    (defaults if none is given).  Like the experiment specs it is frozen and
+    JSON round-trippable, so a campaign's fault-tolerance configuration can
+    be recorded and replayed.
+
+    Attributes
+    ----------
+    timeout_s:
+        Per-cell wall-clock budget.  A cell past its deadline is treated as
+        wedged: its worker pool is recycled (processes hard-killed and
+        rebuilt) and the cell is charged a transient ``timeout`` failure.
+        ``None`` disables the deadline.  Enforced only in pool mode — a
+        single in-process cell cannot be preempted portably.
+    retry:
+        Transient-failure retry schedule (:class:`RetryPolicy`).
+    max_errors:
+        Circuit breaker: once this many error *records* have been emitted,
+        no further cells are submitted (in-flight cells drain, the JSONL
+        sink is flushed and finalized).  ``None`` disables the breaker.
+    max_pool_rebuilds:
+        Pool collapses tolerated before degrading to serial in-process
+        execution for the rest of the campaign.
+    """
+
+    timeout_s: Optional[float] = None
+    retry: RetryPolicy = RetryPolicy()
+    max_errors: Optional[int] = None
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.max_errors is not None and self.max_errors < 1:
+            raise ValueError(f"max_errors must be >= 1, got {self.max_errors}")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retry.max_attempts
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetPolicy":
+        _check_known_keys(cls, data)
+        payload = dict(data)
+        if isinstance(payload.get("retry"), dict):
+            payload["retry"] = RetryPolicy.from_dict(payload["retry"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
 class CampaignSpec:
     """An ordered list of experiment cells plus expansion helpers."""
 

@@ -44,6 +44,8 @@ from .api import (
     DETECTORS,
     ExperimentRecord,
     ExperimentSpec,
+    FleetPolicy,
+    RetryPolicy,
     detect_seed_for,
     execute_experiment,
     resolve_circuit,
@@ -219,8 +221,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    try:
+        policy = FleetPolicy(
+            timeout_s=args.timeout,
+            retry=RetryPolicy(max_retries=args.retries),
+            max_errors=args.max_errors,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     runner = CampaignRunner(
-        campaign, jobs=args.jobs, out=args.out, resume=args.resume
+        campaign, jobs=args.jobs, out=args.out, resume=args.resume, policy=policy
     )
     result = runner.run(progress)
     if args.json:
@@ -428,6 +438,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--additive-gates", type=int, default=16)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (1 = in-process, campaign order preserved)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall-clock timeout in seconds; a cell past "
+                        "its deadline errors out and its worker pool is "
+                        "recycled (pool mode only)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="max retries per cell for transient failures "
+                        "(worker death, timeout, I/O); deterministic "
+                        "pipeline errors never retry")
+    p.add_argument("--max-errors", type=int, default=None,
+                   help="circuit breaker: stop submitting new cells after "
+                        "this many error records (the JSONL sink is still "
+                        "flushed and finalized)")
     p.add_argument("--out", help="append one JSON record per cell to this JSONL file")
     p.add_argument("--resume", action="store_true",
                    help="skip cells whose records already exist in --out")

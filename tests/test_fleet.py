@@ -1,0 +1,375 @@
+"""Fault-tolerance tests for the supervised campaign layer (`repro.api.fleet`).
+
+Covers the error taxonomy, seeded retry backoff, the chaos harness
+(`repro.api.chaos`), and the integration guarantees: a campaign survives a
+SIGKILL-ed worker and a timed-out cell with every payload bit-identical to
+an undisturbed serial run, resumes over a chaos-truncated JSONL, trips the
+``max_errors`` circuit breaker while still finalizing the sink, and
+degrades to serial execution after repeated pool collapse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    CampaignSpec,
+    CellSupervisor,
+    ChaosSpec,
+    ExperimentRecord,
+    ExperimentSpec,
+    FaultInjector,
+    FleetPolicy,
+    RetryPolicy,
+    TransientChaosError,
+    classify_error,
+    load_records,
+    retry_delay_s,
+    run_campaign,
+    run_experiment,
+)
+from repro.api.fleet import CellTimeout
+
+
+def _c17_specs(*pths, seed=3):
+    return [ExperimentSpec(circuit="c17", pth=p, seed=seed) for p in pths]
+
+
+def _campaign(specs, name="fleet-unit"):
+    return CampaignSpec.of(specs, name=name)
+
+
+class TestErrorTaxonomy:
+    def test_classification(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert classify_error(BrokenProcessPool("x")) == "worker-death"
+        assert classify_error(CellTimeout("x")) == "timeout"
+        assert classify_error(TimeoutError("x")) == "timeout"
+        assert classify_error(TransientChaosError("x")) == "chaos-transient"
+        assert classify_error(OSError("x")) == "transient-io"
+        assert classify_error(ValueError("x")) == "deterministic"
+        assert classify_error(RuntimeError("x")) == "deterministic"
+
+    def test_deterministic_errors_never_retry(self):
+        # A bad circuit ref raises ValueError inside the cell: exactly one
+        # attempt, no retry history, straight to an error record.
+        campaign = _campaign([ExperimentSpec(circuit="/nonexistent/x.bench", pth=0.9)])
+        result = run_campaign(
+            campaign, policy=FleetPolicy(retry=RetryPolicy(max_retries=5))
+        )
+        (record,) = result.records
+        assert record.error is not None and "unknown circuit" in record.error
+        assert record.runtime["attempts"] == 1
+        assert record.runtime["retry_history"] == []
+
+
+class TestRetryBackoff:
+    def test_delay_deterministic_for_fixed_spec(self):
+        policy = RetryPolicy(backoff_s=0.5, jitter=0.25)
+        spec = ExperimentSpec(circuit="c432", pth=0.975, seed=7)
+        assert retry_delay_s(policy, spec, 1) == retry_delay_s(policy, spec, 1)
+        assert retry_delay_s(policy, spec, 1) != retry_delay_s(policy, spec, 2)
+        # Different cells get decorrelated jitter even with the same seed.
+        other = spec.with_(pth=0.992)
+        assert retry_delay_s(policy, spec, 1) != retry_delay_s(policy, other, 1)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            backoff_s=0.1, backoff_mult=2.0, backoff_max_s=0.5, jitter=0.0
+        )
+        spec = ExperimentSpec(circuit="c17", pth=0.9, seed=0)
+        delays = [retry_delay_s(policy, spec, a) for a in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_mult=1.0, jitter=0.25)
+        for seed in range(20):
+            spec = ExperimentSpec(circuit="c17", pth=0.9, seed=seed)
+            delay = retry_delay_s(policy, spec, 1)
+            assert 1.0 <= delay <= 1.25
+
+    def test_seedless_spec_still_deterministic(self):
+        policy = RetryPolicy(backoff_s=0.25, jitter=0.5)
+        spec = ExperimentSpec(circuit="c17", pth=0.9)  # seed=None
+        assert retry_delay_s(policy, spec, 1) == retry_delay_s(policy, spec, 1)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_mult"):
+            RetryPolicy(backoff_mult=0.5)
+        with pytest.raises(ValueError, match="timeout_s"):
+            FleetPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_errors"):
+            FleetPolicy(max_errors=0)
+
+    def test_fleet_policy_round_trip(self):
+        policy = FleetPolicy(
+            timeout_s=12.5,
+            retry=RetryPolicy(max_retries=4, backoff_s=0.1),
+            max_errors=7,
+        )
+        assert FleetPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestChaosSpec:
+    def test_round_trip(self):
+        spec = ChaosSpec(
+            seed=3, kill_cells=("pth=0.9|",), error_prob=0.5, hang_s=2.0
+        )
+        assert ChaosSpec.from_dict(spec.to_dict()) == spec
+        assert ChaosSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            ChaosSpec.from_dict({"bogus": 1})
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert ChaosSpec.from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS", '{"seed": 5, "kill_cells": ["c17"]}')
+        spec = ChaosSpec.from_env()
+        assert spec.seed == 5 and spec.kill_cells == ("c17",)
+        monkeypatch.setenv("REPRO_CHAOS", "{broken")
+        with pytest.raises(ValueError, match="REPRO_CHAOS"):
+            ChaosSpec.from_env()
+
+    def test_selector_and_attempt_gating(self):
+        injector = FaultInjector(ChaosSpec(error_cells=("pth=0.9|",), max_attempt=2))
+        cell = "circuit=c17|pth=0.9|seed=3"
+        assert injector.should_fire("error", cell, attempt=1)
+        assert injector.should_fire("error", cell, attempt=2)
+        assert not injector.should_fire("error", cell, attempt=3)
+        assert not injector.should_fire("error", "circuit=c17|pth=0.95|seed=3")
+        assert not injector.should_fire("kill", cell)
+
+    def test_probabilistic_selection_is_seeded(self):
+        spec = ChaosSpec(seed=11, error_prob=0.5)
+        a = FaultInjector(spec)
+        b = FaultInjector(spec)
+        cells = [f"circuit=c17|pth=0.{i}|" for i in range(10, 60)]
+        plan_a = [a.should_fire("error", c) for c in cells]
+        plan_b = [b.should_fire("error", c) for c in cells]
+        assert plan_a == plan_b
+        assert any(plan_a) and not all(plan_a)  # p=0.5 over 50 cells
+        # A different chaos seed produces a different plan.
+        other = [
+            FaultInjector(ChaosSpec(seed=12, error_prob=0.5)).should_fire("error", c)
+            for c in cells
+        ]
+        assert plan_a != other
+
+    def test_serial_downgrade(self):
+        injector = FaultInjector(ChaosSpec(kill_cells=("c17",)), serial=True)
+        with pytest.raises(TransientChaosError, match="serial downgrade"):
+            injector.fire("circuit=c17|pth=0.9", attempt=1)
+        injector = FaultInjector(ChaosSpec(hang_cells=("c17",)), serial=True)
+        with pytest.raises(TransientChaosError, match="serial downgrade"):
+            injector.fire("circuit=c17|pth=0.9", attempt=1)
+
+
+class TestSerialSupervision:
+    def test_transient_error_retries_then_succeeds(self):
+        (spec,) = _c17_specs(0.9)
+        chaos = ChaosSpec(error_cells=("circuit=c17",), max_attempt=2)
+        policy = FleetPolicy(retry=RetryPolicy(max_retries=3, backoff_s=0.01))
+        result = run_campaign(_campaign([spec]), policy=policy, chaos=chaos)
+        (record,) = result.records
+        assert record.error is None
+        assert record.runtime["attempts"] == 3
+        kinds = [h["kind"] for h in record.runtime["retry_history"]]
+        assert kinds == ["chaos-transient", "chaos-transient"]
+        assert result.fleet["retries"] == 2
+
+    def test_retry_exhaustion_becomes_error_record(self):
+        (spec,) = _c17_specs(0.9)
+        chaos = ChaosSpec(error_cells=("circuit=c17",), max_attempt=99)
+        policy = FleetPolicy(retry=RetryPolicy(max_retries=2, backoff_s=0.01))
+        result = run_campaign(_campaign([spec]), policy=policy, chaos=chaos)
+        (record,) = result.records
+        assert record.error is not None and "chaos transient" in record.error
+        assert record.runtime["attempts"] == 3  # 1 + 2 retries
+        assert len(record.runtime["retry_history"]) == 3
+        # Error records still serialize strictly.
+        restored = ExperimentRecord.from_json_line(record.to_json_line())
+        assert restored.runtime["retry_history"] == record.runtime["retry_history"]
+
+    def test_retry_history_deterministic_for_fixed_seed(self):
+        specs = _c17_specs(0.9, 0.95, seed=11)
+        chaos = ChaosSpec(seed=2, error_cells=("pth=0.9|",), max_attempt=2)
+        policy = FleetPolicy(retry=RetryPolicy(max_retries=3, backoff_s=0.01))
+
+        def histories():
+            result = run_campaign(_campaign(specs), policy=policy, chaos=chaos)
+            assert not result.errors
+            return {
+                r.spec.cell_id(): r.runtime["retry_history"] for r in result.records
+            }
+
+        first, second = histories(), histories()
+        assert first == second
+        chaotic = [h for h in first.values() if h]
+        assert chaotic and all(h[0]["delay_s"] > 0 for h in chaotic)
+
+    def test_circuit_breaker_stops_submission_and_finalizes_sink(self, tmp_path):
+        bad = [
+            ExperimentSpec(circuit=f"/nonexistent/{i}.bench", pth=0.9)
+            for i in range(3)
+        ]
+        campaign = _campaign(bad + _c17_specs(0.9), name="breaker")
+        out = tmp_path / "breaker.jsonl"
+        result = run_campaign(
+            campaign, out=out, policy=FleetPolicy(max_errors=2)
+        )
+        assert len(result.records) == 2
+        assert result.aborted is not None and "circuit breaker" in result.aborted
+        # The sink is flushed and strictly parseable despite the abort.
+        assert len(load_records(out)) == 2
+
+    def test_breaker_disabled_by_default(self):
+        bad = [
+            ExperimentSpec(circuit=f"/nonexistent/{i}.bench", pth=0.9)
+            for i in range(3)
+        ]
+        result = run_campaign(_campaign(bad))
+        assert len(result.records) == 3
+        assert result.aborted is None
+
+
+class TestPoolChaos:
+    """Integration: real worker pools, real SIGKILLs, real wedged workers."""
+
+    def test_worker_kill_mid_campaign_completes_with_parity(self):
+        specs = _c17_specs(0.9, 0.92, 0.95, 0.975)
+        chaos = ChaosSpec(seed=0, kill_cells=("pth=0.9|",))
+        policy = FleetPolicy(retry=RetryPolicy(max_retries=2, backoff_s=0.05))
+        result = run_campaign(
+            _campaign(specs, "kill"), jobs=2, policy=policy, chaos=chaos
+        )
+        assert len(result.records) == len(specs)
+        assert not result.errors
+        assert result.fleet["pool_rebuilds"] >= 1
+        assert result.fleet["worker_deaths"] >= 1
+        by_id = {r.spec.cell_id(): r for r in result.records}
+        killed = by_id[specs[0].cell_id()]
+        assert killed.runtime["attempts"] >= 2
+        assert killed.runtime["retry_history"][0]["kind"] == "worker-death"
+        # Payloads are bit-identical to an undisturbed serial run.
+        for spec in specs:
+            serial = run_experiment(spec)
+            assert serial.payload_dict() == by_id[spec.cell_id()].payload_dict()
+
+    def test_timeout_recycles_pool_and_records_error(self, tmp_path):
+        specs = _c17_specs(0.9, 0.92, 0.95)
+        chaos = ChaosSpec(hang_cells=("pth=0.95|",), hang_s=60.0, max_attempt=99)
+        policy = FleetPolicy(timeout_s=2.0, retry=RetryPolicy(max_retries=0))
+        out = tmp_path / "timeout.jsonl"
+        result = run_campaign(
+            _campaign(specs, "hang"), jobs=2, out=out, policy=policy, chaos=chaos
+        )
+        assert len(result.records) == len(specs)
+        by_id = {r.spec.cell_id(): r for r in result.records}
+        hung = by_id[specs[2].cell_id()]
+        assert hung.error is not None and "CellTimeout" in hung.error
+        assert hung.runtime["worker_recycles"] >= 1
+        assert result.fleet["timeouts"] >= 1
+        assert result.fleet["pool_rebuilds"] >= 1
+        # The healthy cells completed with clean payloads...
+        for spec in specs[:2]:
+            record = by_id[spec.cell_id()]
+            assert record.error is None
+            assert run_experiment(spec).payload_dict() == record.payload_dict()
+        # ...and the JSONL parses strictly (timeouts never corrupt the sink).
+        assert len(load_records(out)) == len(specs)
+
+    def test_degrades_to_serial_after_repeated_pool_collapse(self):
+        specs = _c17_specs(0.9, 0.92, 0.95, 0.975)
+        # The kill chaos fires on the first three attempts; with only one
+        # pool rebuild allowed the supervisor must fall back to in-process
+        # execution (where kills downgrade to retryable chaos errors).
+        chaos = ChaosSpec(seed=0, kill_cells=("pth=0.9|",), max_attempt=3)
+        policy = FleetPolicy(
+            retry=RetryPolicy(max_retries=4, backoff_s=0.02), max_pool_rebuilds=1
+        )
+        result = run_campaign(
+            _campaign(specs, "degrade"), jobs=2, policy=policy, chaos=chaos
+        )
+        assert result.fleet["degraded_to_serial"] is True
+        assert result.fleet["pool_rebuilds"] == 2
+        assert len(result.records) == len(specs)
+        assert not result.errors
+        for record in result.records:
+            assert run_experiment(record.spec).payload_dict() == record.payload_dict()
+
+    def test_resume_over_chaos_truncated_jsonl(self, tmp_path):
+        specs = _c17_specs(0.9, 0.92, 0.95)
+        out = tmp_path / "trunc.jsonl"
+        chaos = ChaosSpec(truncate_cells=("pth=0.95|",))
+        first = run_campaign(_campaign(specs, "trunc"), out=out, chaos=chaos)
+        assert len(first.records) == len(specs)
+        # The chaos chopped the last record mid-line: it is gone from disk.
+        assert len(load_records(out, strict=False)) == len(specs) - 1
+        with pytest.raises(ValueError, match="invalid record"):
+            load_records(out, strict=True)
+        # Resume trims the partial tail, re-runs exactly the corrupted cell,
+        # and the healed file parses strictly.
+        again = run_campaign(_campaign(specs, "trunc"), out=out, resume=True)
+        assert [r.spec.pth for r in again.records] == [0.95]
+        assert len(again.skipped) == 2
+        restored = load_records(out, strict=True)
+        assert {r.spec.cell_id() for r in restored} == {
+            s.cell_id() for s in specs
+        }
+        assert all(r.error is None for r in restored)
+
+    def test_supervised_pool_matches_bare_parallel_semantics(self, tmp_path):
+        # No chaos, no faults: the supervised path must behave exactly like
+        # the old bare-pool path (one record per cell, streamed JSONL,
+        # payload parity with serial).
+        specs = _c17_specs(0.9, 0.95) + [
+            ExperimentSpec(circuit="c432", pth=0.975, design="counter2", seed=3)
+        ]
+        out = tmp_path / "clean.jsonl"
+        result = run_campaign(_campaign(specs, "clean"), jobs=2, out=out)
+        assert len(result.records) == len(specs)
+        assert not result.errors
+        assert result.fleet["pool_rebuilds"] == 0
+        assert result.fleet["retries"] == 0
+        for record in load_records(out):
+            assert record.runtime["attempts"] == 1
+            assert record.runtime["retry_history"] == []
+            assert (
+                run_experiment(record.spec).payload_dict()
+                == record.payload_dict()
+            )
+
+
+class TestResumeDedup:
+    def test_done_ids_last_record_wins(self, tmp_path):
+        # A cell can appear twice in a resume file (error record from a
+        # crashed run, then a clean retry).  Only the *latest* record
+        # decides whether the cell re-runs.
+        (spec,) = _c17_specs(0.9)
+        good = run_experiment(spec)
+        bad = ExperimentRecord.failed(spec, "TimeoutError: synthetic")
+
+        out = tmp_path / "err_then_ok.jsonl"
+        out.write_text(bad.to_json_line() + "\n" + good.to_json_line() + "\n")
+        result = run_campaign(_campaign([spec]), out=out, resume=True)
+        assert result.records == [] and result.skipped == [spec.cell_id()]
+
+        out2 = tmp_path / "ok_then_err.jsonl"
+        out2.write_text(good.to_json_line() + "\n" + bad.to_json_line() + "\n")
+        result2 = run_campaign(_campaign([spec]), out=out2, resume=True)
+        assert [r.spec.cell_id() for r in result2.records] == [spec.cell_id()]
+        assert result2.skipped == []
+
+
+class TestSupervisorDirect:
+    def test_iter_records_streams_in_order_serially(self):
+        specs = _c17_specs(0.9, 0.92, 0.95)
+        supervisor = CellSupervisor(specs, jobs=1)
+        pths = [r.spec.pth for r in supervisor.iter_records()]
+        assert pths == [0.9, 0.92, 0.95]
+        assert supervisor.stats.errors == 0
