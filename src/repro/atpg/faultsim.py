@@ -27,21 +27,22 @@ import numpy as np
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gate import GateType
-from ..sim.bitsim import pack_patterns, tail_mask
+from ..sim.bitsim import ALL_ONES, FULL_MASK, WORD_BITS, pack_patterns, tail_mask
 from ..sim.compiled import CompiledCircuit, compile_circuit
 from .fault import StuckAtFault
+from .ppsfp import ppsfp_detections
 
-_WORD = 64
-_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
-_FULL_MASK = (1 << _WORD) - 1
+#: ``mode="auto"`` switches to PPSFP at this many faults (and > 64 patterns):
+#: below it, the pre-drop word walk wins on constant factors.
+PPSFP_MIN_FAULTS = 16
 
 
 def _blocks(patterns: np.ndarray, inputs: Sequence[str]) -> Iterable[Tuple[Dict[str, int], int, int]]:
     """Yield (pi -> packed int, n_patterns_in_block, block_start) per 64-row block."""
     patterns = np.atleast_2d(np.asarray(patterns))
     n = patterns.shape[0]
-    for start in range(0, n, _WORD):
-        chunk = patterns[start : start + _WORD]
+    for start in range(0, n, WORD_BITS):
+        chunk = patterns[start : start + WORD_BITS]
         packed = pack_patterns(chunk)  # (n_inputs, 1) — vectorized, no bit loop
         words = {pi: int(packed[col, 0]) for col, pi in enumerate(inputs)}
         yield words, chunk.shape[0], start
@@ -90,11 +91,11 @@ class FaultSimResult:
 class FaultSimulator:
     """Cone-restricted, matrix-based stuck-at fault simulator."""
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, backend=None) -> None:
         if circuit.is_sequential:
             raise NetlistError("fault simulation supports combinational circuits only")
         self.circuit = circuit
-        self._compiled: CompiledCircuit = compile_circuit(circuit)
+        self._compiled: CompiledCircuit = compile_circuit(circuit, backend)
 
     def _detect_mask_single_word(
         self, site: int, stuck: int, good: List[int], mask: int
@@ -136,7 +137,8 @@ class FaultSimulator:
         mask = (1 << n_patterns) - 1
         # Inverting gates set the pad bits past n_patterns in the compiled
         # matrix; mask them off so the == early-exits below stay exact.
-        good: List[int] = (matrix[:, 0] & np.uint64(mask)).tolist()
+        column = self._compiled.backend.to_numpy(matrix[:, 0])
+        good: List[int] = (column & np.uint64(mask)).tolist()
         for fault in faults:
             site = self._compiled.index[fault.net]
             detect = self._detect_mask_single_word(
@@ -161,12 +163,12 @@ class FaultSimulator:
         """
         cc = self._compiled
         site = cc.index[fault.net]
-        stuck = _ALL_ONES if fault.value else np.uint64(0)
+        stuck = ALL_ONES if fault.value else np.uint64(0)
         excite = (good[site] ^ stuck) & masks
         if not excite.any():
             return None  # never excited by any pattern
         cone = cc.cone_schedule(fault.net)
-        detect = np.zeros(good.shape[1], dtype=np.uint64)
+        detect = cc.backend.xp.zeros(good.shape[1], dtype=np.uint64)
         if cone.po_rows.size:
             scratch[site] = stuck
             cc.run_cone(cone, scratch)
@@ -177,26 +179,35 @@ class FaultSimulator:
             scratch[site] = good[site]
         if cone.site_is_output:
             detect = detect | excite
-        detect &= masks
+        detect = cc.backend.to_numpy(detect & masks)
         nonzero = np.flatnonzero(detect)
         if nonzero.size == 0:
             return None
         word = int(nonzero[0])
         bits = int(detect[word])
-        return word * _WORD + ((bits & -bits).bit_length() - 1)
+        return word * WORD_BITS + ((bits & -bits).bit_length() - 1)
 
     def run(
         self,
         patterns: np.ndarray,
         faults: Iterable[StuckAtFault],
         drop_detected: bool = True,
+        mode: str = "auto",
     ) -> FaultSimResult:
         """Simulate ``faults`` against ``patterns`` (rows of 0/1).
 
         ``drop_detected`` is kept for API compatibility; the matrix engine
         judges every fault against the whole pattern set in one pass, so the
         reported detection index is always the *first* detecting pattern.
+
+        ``mode`` selects the engine: ``"single"`` is the per-fault cone
+        path, ``"ppsfp"`` batches up to 64 faults per levelized sweep
+        (:mod:`repro.atpg.ppsfp`), and ``"auto"`` (default) picks PPSFP once
+        the fault list is large enough to amortize the widened matrix.  All
+        modes return bit-identical results.
         """
+        if mode not in ("auto", "ppsfp", "single"):
+            raise ValueError(f"unknown fault-sim mode {mode!r}")
         remaining: List[StuckAtFault] = list(faults)
         result = FaultSimResult()
         patterns = np.atleast_2d(np.asarray(patterns))
@@ -205,20 +216,31 @@ class FaultSimulator:
         if n_patterns == 0 or not remaining:
             result.undetected = list(remaining)
             return result
-        if n_patterns <= _WORD:
+        if mode == "auto":
+            use_ppsfp = (
+                n_patterns > WORD_BITS and len(remaining) >= PPSFP_MIN_FAULTS
+            )
+            mode = "ppsfp" if use_ppsfp else "single"
+        if mode == "ppsfp":
+            result.detected = ppsfp_detections(self._compiled, patterns, remaining)
+            result.undetected = [f for f in remaining if f not in result.detected]
+            return result
+        if n_patterns <= WORD_BITS:
             return self._run_single_word(patterns, remaining, result)
         good = self._compiled.simulate_packed(pack_patterns(patterns))
-        masks = tail_mask(n_patterns)
+        masks = self._compiled.backend.asarray(tail_mask(n_patterns))
         if drop_detected:
             # Pre-drop pass: most faults fall to the first 64 patterns, and the
             # Python-int cone walk on one word is far cheaper than a
             # whole-matrix cone evaluation.  Survivors pay the matrix cost.
-            first_col: List[int] = good[:, 0].tolist()
+            first_col: List[int] = self._compiled.backend.to_numpy(
+                good[:, 0]
+            ).tolist()
             survivors: List[StuckAtFault] = []
             for fault in remaining:
                 site = self._compiled.index[fault.net]
                 detect = self._detect_mask_single_word(
-                    site, _FULL_MASK if fault.value else 0, first_col, _FULL_MASK
+                    site, FULL_MASK if fault.value else 0, first_col, FULL_MASK
                 )
                 if detect:
                     result.detected[fault] = (detect & -detect).bit_length() - 1

@@ -24,7 +24,8 @@ def flat_random_vectors(
     n_vectors: int, n_inputs: int, rng: Optional[np.random.Generator] = None
 ) -> np.ndarray:
     """Uniform random 0/1 vectors (each input at p = 0.5)."""
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng()
     return (rng.random((n_vectors, n_inputs)) < 0.5).astype(np.uint8)
 
 
@@ -34,7 +35,8 @@ def weighted_random_vectors(
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
     """Per-input biased random vectors (weighted random testing)."""
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng()
     weights_arr = np.asarray(weights, dtype=float)
     if np.any((weights_arr < 0) | (weights_arr > 1)):
         raise ValueError("weights must be probabilities in [0, 1]")

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -403,6 +404,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="TrojanZero (DATE 2019) reproduction toolkit",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="array backend for the simulation engine (numpy, cupy); "
+        "defaults to $REPRO_ARRAY_BACKEND or numpy",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("attack", help="run the full TrojanZero flow")
@@ -528,6 +535,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        from .sim.backend import ENV_VAR, set_default_backend
+
+        set_default_backend(args.backend)  # fails loudly on unknown names
+        # Campaign workers are separate processes; they inherit the choice
+        # through the environment.
+        os.environ[ENV_VAR] = args.backend
     return args.func(args)
 
 

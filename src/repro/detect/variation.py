@@ -98,7 +98,7 @@ class PopulationSampler:
         self.circuit = circuit
         self.report = report
         self.model = model or VariationModel()
-        self._rng = rng or np.random.default_rng(42)
+        self._rng = rng if rng is not None else np.random.default_rng(42)
 
         self._gate_names: List[str] = sorted(report.leakage_by_gate)
         self._leak_nominal = np.array(
@@ -157,7 +157,8 @@ class PopulationSampler:
     # ------------------------------------------------------------------
     def sample_chip(self, rng: Optional[np.random.Generator] = None) -> ChipMeasurements:
         """Fabricate one die and measure it."""
-        rng = rng or self._rng
+        if rng is None:
+            rng = self._rng
         m = self.model
         leak_mult = rng.lognormal(mean=0.0, sigma=m.leakage_sigma, size=self._leak_nominal.shape)
         dyn_mult = rng.normal(loc=1.0, scale=m.dynamic_sigma, size=self._dyn_nominal.shape)
@@ -186,5 +187,6 @@ class PopulationSampler:
     def sample_population(
         self, n_chips: int, rng: Optional[np.random.Generator] = None
     ) -> List[ChipMeasurements]:
-        rng = rng or self._rng
+        if rng is None:
+            rng = self._rng
         return [self.sample_chip(rng) for _ in range(n_chips)]

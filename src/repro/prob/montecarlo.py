@@ -71,7 +71,8 @@ def mc_signal_probabilities(
     so the flip-flop state evolves as it would in operation.  Both paths run
     on the compiled levelized engine.
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0)
     patterns = _biased_patterns(circuit, n_samples, rng, pi_probabilities)
     if circuit.is_sequential:
         watch = list(circuit.nets)
@@ -102,7 +103,8 @@ def mc_toggle_rates(
     the α that multiplies C·Vdd²·f in the dynamic-power model.  Works for
     sequential circuits too (DFF state evolves along the sequence).
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0)
     sequence = _biased_patterns(circuit, n_vectors, rng, pi_probabilities)
 
     watch = list(circuit.nets)

@@ -20,11 +20,26 @@ import numpy as np
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gate import GateType
+from .backend import ALL_ONES, FULL_MASK, WORD_BITS
 from .compiled import CompiledCircuit, compile_circuit
 
-_WORD_BITS = 64
-_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
-
+# Single home of the 64-bit word constants (defined in ``repro.sim.backend``
+# beside the array namespace, re-exported here as the stable import point
+# for the rest of the package).
+__all__ = [
+    "ALL_ONES",
+    "FULL_MASK",
+    "WORD_BITS",
+    "BitSimulator",
+    "pack_patterns",
+    "unpack_patterns",
+    "toggle_matrix",
+    "tail_mask",
+    "reference_run_packed",
+    "simulate",
+    "random_patterns",
+    "exhaustive_patterns",
+]
 
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
@@ -38,8 +53,8 @@ def pack_patterns(patterns: np.ndarray) -> np.ndarray:
     if patterns.ndim != 2:
         raise ValueError(f"patterns must be 2-D, got shape {patterns.shape}")
     n_patterns, n_signals = patterns.shape
-    n_words = (n_patterns + _WORD_BITS - 1) // _WORD_BITS
-    bits = np.zeros((n_signals, n_words * _WORD_BITS), dtype=np.uint8)
+    n_words = (n_patterns + WORD_BITS - 1) // WORD_BITS
+    bits = np.zeros((n_signals, n_words * WORD_BITS), dtype=np.uint8)
     if n_patterns:
         bits[:, :n_patterns] = (patterns != 0).T
     packed_bytes = np.packbits(bits, axis=-1, bitorder="little")
@@ -88,9 +103,9 @@ def toggle_matrix(values: np.ndarray, axis: int = 0) -> np.ndarray:
 
 def tail_mask(n_patterns: int) -> np.ndarray:
     """Per-word masks selecting only the valid pattern bits."""
-    n_words = (n_patterns + _WORD_BITS - 1) // _WORD_BITS
-    masks = np.full(n_words, _ALL_ONES, dtype=np.uint64)
-    rem = n_patterns % _WORD_BITS
+    n_words = (n_patterns + WORD_BITS - 1) // WORD_BITS
+    masks = np.full(n_words, ALL_ONES, dtype=np.uint64)
+    rem = n_patterns % WORD_BITS
     if rem:
         masks[-1] = np.uint64((1 << rem) - 1)
     return masks
@@ -107,13 +122,14 @@ class BitSimulator:
     so constructing many simulators for the same circuit is cheap.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, backend=None) -> None:
         if circuit.is_sequential:
             raise NetlistError(
                 f"{circuit.name!r} contains DFFs; use SequentialSimulator"
             )
         self.circuit = circuit
-        self._compiled: CompiledCircuit = compile_circuit(circuit)
+        self._compiled: CompiledCircuit = compile_circuit(circuit, backend)
+        self._backend = self._compiled.backend
         self._order = self._compiled.order
 
     def run_packed(self, packed_inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
@@ -124,10 +140,11 @@ class BitSimulator:
         n_words = len(next(iter(packed_inputs.values()))) if packed_inputs else 1
         values = self._compiled.new_matrix(n_words)
         for i, pi in enumerate(self.circuit.inputs):
-            values[self._compiled.input_idx[i]] = np.asarray(
+            values[self._compiled.input_idx[i]] = self._backend.asarray(
                 packed_inputs[pi], dtype=np.uint64
             )
         self._compiled.run_matrix(values)
+        values = self._backend.to_numpy(values)
         # A patched/shared compiled form may carry rows for dead-stripped
         # nets; report only nets the circuit actually has.
         return {
@@ -154,14 +171,16 @@ class BitSimulator:
                 f"got {patterns.shape[1]}"
             )
         values = self._run_matrix(patterns)
-        return unpack_patterns(values[self._compiled.output_idx], n_patterns)
+        return unpack_patterns(
+            self._backend.to_numpy(values[self._compiled.output_idx]), n_patterns
+        )
 
     def run_full(self, patterns: np.ndarray) -> Dict[str, np.ndarray]:
         """Like :meth:`run` but returns every net, unpacked, keyed by name."""
         patterns = np.atleast_2d(np.asarray(patterns))
         n_patterns = patterns.shape[0]
         values = self._run_matrix(patterns)
-        unpacked = unpack_patterns(values, n_patterns)
+        unpacked = unpack_patterns(self._backend.to_numpy(values), n_patterns)
         return {
             net: unpacked[:, i]
             for i, net in enumerate(self._order)
@@ -178,7 +197,7 @@ class BitSimulator:
         n_patterns = patterns.shape[0]
         values = self._run_matrix(patterns)
         rows = np.array([self._compiled.index[net] for net in nets], dtype=np.intp)
-        return unpack_patterns(values[rows], n_patterns)
+        return unpack_patterns(self._backend.to_numpy(values[rows]), n_patterns)
 
 
 def _eval_packed(
@@ -222,7 +241,7 @@ def reference_run_packed(
     """
     n_words = len(next(iter(packed_inputs.values()))) if packed_inputs else 1
     values: Dict[str, np.ndarray] = {}
-    ones = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+    ones = np.full(n_words, ALL_ONES, dtype=np.uint64)
     zeros = np.zeros(n_words, dtype=np.uint64)
     for net in circuit.topological_order():
         gate = circuit.gate(net)
@@ -250,7 +269,8 @@ def random_patterns(
     p_one: float = 0.5,
 ) -> np.ndarray:
     """Random 0/1 pattern block, optionally biased toward 1 with ``p_one``."""
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng()
     return (rng.random((n_patterns, n_inputs)) < p_one).astype(np.uint8)
 
 

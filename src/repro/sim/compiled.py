@@ -78,15 +78,13 @@ from __future__ import annotations
 from bisect import bisect_left
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..netlist.circuit import Circuit, NetlistError
 from ..netlist.gate import GateType
-
-_WORD_BITS = 64
-_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+from .backend import ALL_ONES, ArrayBackend, resolve_backend
 
 #: Bound on the fired-DFF-set -> ripple sub-schedule cache (counters revisit
 #: a handful of sets; an adversarial workload must not grow it unboundedly).
@@ -234,11 +232,19 @@ class CompiledCircuit:
     edge-driven state update of :meth:`step_sequential` needs.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(
+        self, circuit: Circuit, backend: Union[str, ArrayBackend, None] = None
+    ) -> None:
         # Deliberately no reference to ``circuit`` is kept: compiled forms
         # are shared across circuit objects (fingerprint cache, copies) and
         # must not pin their source object alive or observe its mutations —
         # everything needed at runtime is lowered into arrays here.
+        #
+        # The schedule's index arrays stay host-side (NumPy) regardless of
+        # backend — they are tiny and both NumPy and CuPy accept host index
+        # arrays in fancy indexing; only the *value matrices* live on the
+        # backend (see :meth:`new_matrix`).
+        self.backend: ArrayBackend = resolve_backend(backend)
         levels = circuit.levels()
 
         # Bucket gates by (level, type, arity); sources (PIs/constants/DFF
@@ -335,6 +341,8 @@ class CompiledCircuit:
         self._cone_cache: Dict[int, ConeSchedule] = {}
         self._cone_rows_cache: Dict[int, List[int]] = {}
         self._fire_cache: Dict[Tuple[int, ...], Optional[Tuple[GateGroup, ...]]] = {}
+        self._row_sched_pos: Optional[np.ndarray] = None
+        self._cone_groups_cache: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # full-circuit evaluation
@@ -344,14 +352,17 @@ class CompiledCircuit:
 
         Every non-constant row is either a PI row (the caller fills it) or is
         written by the schedule, so the bulk allocation stays uninitialized.
+        The matrix is allocated on :attr:`backend` (host for NumPy, device
+        for CuPy); the group schedule evaluates on it through the NumPy ufunc
+        dispatch protocol either way.
         """
-        values = np.empty((self.n_nets, n_words), dtype=np.uint64)
+        values = self.backend.xp.empty((self.n_nets, n_words), dtype=np.uint64)
         if self.input_idx.size:
             values[self.input_idx] = 0
         if self.tie0_idx.size:
             values[self.tie0_idx] = 0
         if self.tie1_idx.size:
-            values[self.tie1_idx] = _ALL_ONES
+            values[self.tie1_idx] = ALL_ONES
         if self.dff_idx.size:
             values[self.dff_idx] = 0  # reset state; quiescent-settle default
         return values
@@ -364,7 +375,7 @@ class CompiledCircuit:
 
     def simulate_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
         """Simulate ``(n_inputs, n_words)`` packed PI words; returns the matrix."""
-        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        packed_inputs = self.backend.asarray(packed_inputs, dtype=np.uint64)
         if packed_inputs.ndim == 1:
             packed_inputs = packed_inputs.reshape(-1, 1)
         n_words = packed_inputs.shape[1]
@@ -450,8 +461,11 @@ class CompiledCircuit:
 
     def _subschedule_for_rows(self, rows: List[int]) -> Tuple[GateGroup, ...]:
         """Restrict the group schedule to the (sorted) member ``rows``."""
-        groups: List[GateGroup] = []
-        for group in self.schedule:
+        return tuple(group for _, group in self._iter_subschedule(rows))
+
+    def _iter_subschedule(self, rows: List[int]):
+        """Yield ``(schedule_position, restricted_group)`` for member ``rows``."""
+        for position, group in enumerate(self.schedule):
             if isinstance(group.out, slice):
                 # Each full group owns one contiguous row run, so the
                 # member rows inside it form one bisectable span.
@@ -461,7 +475,7 @@ class CompiledCircuit:
                 if hi == lo:
                     continue
                 if hi - lo == stop - start:
-                    groups.append(group)
+                    yield position, group
                     continue
                 keep = np.array(rows[lo:hi], dtype=np.intp) - start
             else:
@@ -476,20 +490,17 @@ class CompiledCircuit:
                 if not mask.any():
                     continue
                 if mask.all():
-                    groups.append(group)
+                    yield position, group
                     continue
                 keep = np.nonzero(mask)[0]
             out_idx = group.out_idx[keep]
-            groups.append(
-                GateGroup(
-                    level=group.level,
-                    gate_type=group.gate_type,
-                    out_idx=out_idx,
-                    in_idx=group.in_idx[keep],
-                    out=out_idx,
-                )
+            yield position, GateGroup(
+                level=group.level,
+                gate_type=group.gate_type,
+                out_idx=out_idx,
+                in_idx=group.in_idx[keep],
+                out=out_idx,
             )
-        return tuple(groups)
 
     def dff_fire_schedule(
         self, fired: Tuple[int, ...]
@@ -541,6 +552,55 @@ class CompiledCircuit:
             _evaluate_group(group, values)
         return values
 
+    def batch_cone_schedule(
+        self, sites: Sequence[int]
+    ) -> Tuple[Tuple[GateGroup, ...], np.ndarray, np.ndarray]:
+        """Union-of-cones sub-schedule for a PPSFP fault batch.
+
+        Returns ``(groups, positions, po_rows)``: the levelized sub-schedule
+        restricted to the union of the sites' fanout cones, each group's
+        position in the *full* schedule (so per-site group sets from
+        :meth:`cone_group_positions_at` can be mapped onto the union), and
+        the sorted primary-output rows that can carry a detection — the PO
+        rows inside the union plus any site that is itself a PO.  Evaluating
+        ``groups`` once on a matrix whose site rows are forced propagates
+        *all* the batch's faults in one sweep (see :mod:`repro.atpg.ppsfp`,
+        which owns the per-group site re-forcing this requires).
+        """
+        rows: set = set()
+        for site in sites:
+            rows.update(self.cone_rows_at(int(site)))
+        pairs = list(self._iter_subschedule(sorted(rows)))
+        groups = tuple(group for _, group in pairs)
+        positions = np.array([pos for pos, _ in pairs], dtype=np.intp)
+        po = {row for row in rows if row in self.po_set}
+        po.update(int(site) for site in sites if int(site) in self.po_set)
+        return groups, positions, np.array(sorted(po), dtype=np.intp)
+
+    def row_schedule_positions(self) -> np.ndarray:
+        """Row -> position of the full-schedule group that writes it (-1: none)."""
+        if self._row_sched_pos is None:
+            positions = np.full(self.n_nets, -1, dtype=np.intp)
+            for gpos, group in enumerate(self.schedule):
+                if isinstance(group.out, slice):
+                    positions[group.out] = gpos
+                else:
+                    positions[group.out_idx] = gpos
+            self._row_sched_pos = positions
+        return self._row_sched_pos
+
+    def cone_group_positions_at(self, site: int) -> np.ndarray:
+        """Sorted full-schedule positions of the groups writing ``site``'s cone.
+
+        Cached per site — this is the static half of PPSFP batch planning.
+        """
+        cached = self._cone_groups_cache.get(site)
+        if cached is None:
+            rows = np.asarray(self.cone_rows_at(site), dtype=np.intp)
+            cached = np.unique(self.row_schedule_positions()[rows])
+            self._cone_groups_cache[site] = cached
+        return cached
+
 
 @dataclass
 class CompileStats:
@@ -566,8 +626,9 @@ class CompileStats:
 #: Process-wide compile counters; read with ``COMPILE_STATS.snapshot()``.
 COMPILE_STATS = CompileStats()
 
-#: Fingerprint-keyed LRU of compiled forms shared across circuit *objects*.
-_SHARED_CACHE: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
+#: (fingerprint, backend-name)-keyed LRU of compiled forms shared across
+#: circuit *objects*.
+_SHARED_CACHE: "OrderedDict[Tuple[str, str], CompiledCircuit]" = OrderedDict()
 _SHARED_CACHE_MAX = 48
 
 #: A patch inherits the ancestor's rows, dead ones included; recompile in
@@ -617,6 +678,7 @@ def _build_patched(
     harmless — they read only rows that are still computed).
     """
     comp = CompiledCircuit.__new__(CompiledCircuit)
+    comp.backend = parent.backend
     comp.order = parent.order
     comp.index = parent.index
     comp.n_nets = parent.n_nets
@@ -683,10 +745,14 @@ def _build_patched(
     comp._cone_cache = {}
     comp._cone_rows_cache = {}
     comp._fire_cache = {}
+    comp._row_sched_pos = None
+    comp._cone_groups_cache = {}
     return comp
 
 
-def _patch_from_ancestor(circuit: Circuit) -> Optional[CompiledCircuit]:
+def _patch_from_ancestor(
+    circuit: Circuit, backend: ArrayBackend
+) -> Optional[CompiledCircuit]:
     """Try to derive a compiled form from the copy-ancestor chain."""
     parent = getattr(circuit, "_derived_from", None)
     for _ in range(8):  # accepted trials re-attach, so real chains are short
@@ -700,6 +766,8 @@ def _patch_from_ancestor(circuit: Circuit) -> Optional[CompiledCircuit]:
     parent_compiled: CompiledCircuit = parent._compiled_cache
     if parent_compiled is None:
         return None
+    if parent_compiled.backend.name != backend.name:
+        return None  # a patch shares the ancestor's arrays, backend included
     if len(circuit._gates) < _PATCH_MIN_LIVE_FRACTION * parent_compiled.n_nets:
         return None
     # The attached compiled form may be shared; diff against the gate map of
@@ -712,31 +780,38 @@ def _patch_from_ancestor(circuit: Circuit) -> Optional[CompiledCircuit]:
     return _build_patched(parent_compiled, circuit, tied)
 
 
-def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+def compile_circuit(
+    circuit: Circuit, backend: Union[str, ArrayBackend, None] = None
+) -> CompiledCircuit:
     """Compile ``circuit`` through the attached / fingerprint / patch caches.
 
     The result is memoized on the circuit object until it is mutated, and in
     a bounded fingerprint-keyed LRU shared across circuit objects, so copies
     and edit/revert round-trips never recompile cold.  Single-gate constant
     ties (salvage trials) reuse the ancestor's schedule via patching.
+
+    ``backend`` selects the array backend the compiled form's value matrices
+    run on (default: the process default — see :mod:`repro.sim.backend`);
+    cache entries are keyed per backend, so mixed-backend use never aliases.
     """
+    backend = resolve_backend(backend)
     cached = getattr(circuit, "_compiled_cache", None)
-    if cached is not None:
+    if cached is not None and cached.backend.name == backend.name:
         COMPILE_STATS.attached_hits += 1
         return cached
-    fingerprint = circuit.structural_fingerprint()
-    cached = _SHARED_CACHE.get(fingerprint)
+    key = (circuit.structural_fingerprint(), backend.name)
+    cached = _SHARED_CACHE.get(key)
     if cached is not None:
         COMPILE_STATS.fingerprint_hits += 1
-        _SHARED_CACHE.move_to_end(fingerprint)
+        _SHARED_CACHE.move_to_end(key)
     else:
-        cached = _patch_from_ancestor(circuit)
+        cached = _patch_from_ancestor(circuit, backend)
         if cached is not None:
             COMPILE_STATS.patched_compiles += 1
         else:
-            cached = CompiledCircuit(circuit)
+            cached = CompiledCircuit(circuit, backend)
             COMPILE_STATS.full_compiles += 1
-        _SHARED_CACHE[fingerprint] = cached
+        _SHARED_CACHE[key] = cached
         while len(_SHARED_CACHE) > _SHARED_CACHE_MAX:
             _SHARED_CACHE.popitem(last=False)
     circuit._compiled_cache = cached

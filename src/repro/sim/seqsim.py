@@ -48,10 +48,8 @@ import numpy as np
 
 from ..netlist.circuit import Circuit
 from ..netlist.gate import GateType
-from .bitsim import _eval_packed, pack_patterns, unpack_patterns
+from .bitsim import ALL_ONES, _eval_packed, pack_patterns, unpack_patterns
 from .compiled import CompiledCircuit, compile_circuit
-
-_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 #: Word budget for the per-chunk watched-row buffer of
 #: :meth:`SequentialSimulator.run_sequences_nets` (bounds peak memory of the
@@ -66,9 +64,10 @@ class SequentialSimulator:
     so functional-testing code can treat N, N' and N'' uniformly.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, backend=None) -> None:
         self.circuit = circuit
-        self._compiled: CompiledCircuit = compile_circuit(circuit)
+        self._compiled: CompiledCircuit = compile_circuit(circuit, backend)
+        self._backend = self._compiled.backend
         self._dffs: List[str] = list(self._compiled.dff_names)
         self._state: Optional[np.ndarray] = None
         self._prev_clk: Optional[np.ndarray] = None
@@ -82,7 +81,9 @@ class SequentialSimulator:
     def reset(self, n_sequences: int) -> None:
         """Zero all flip-flop states for ``n_sequences`` parallel sequences."""
         self._n_words = (n_sequences + 63) // 64
-        self._state = np.zeros((len(self._dffs), self._n_words), dtype=np.uint64)
+        self._state = self._backend.xp.zeros(
+            (len(self._dffs), self._n_words), dtype=np.uint64
+        )
         self._prev_clk = None
         self._values = self._compiled.new_matrix(self._n_words)
 
@@ -122,7 +123,7 @@ class SequentialSimulator:
             )
         else:
             packed = np.zeros((0, self._n_words), dtype=np.uint64)
-        values = self._step_matrix(packed)
+        values = self._backend.to_numpy(self._step_matrix(packed))
         index = self._compiled.index
         return {
             net: values[index[net]].copy()
@@ -175,7 +176,9 @@ class SequentialSimulator:
                 self._step_matrix(packed_steps[t])
             return out
         chunk = max(1, _CHUNK_WORD_BUDGET // (rows.size * max(n_words, 1)))
-        buffer = np.empty((min(chunk, n_steps), rows.size, n_words), dtype=np.uint64)
+        buffer = self._backend.xp.empty(
+            (min(chunk, n_steps), rows.size, n_words), dtype=np.uint64
+        )
         t = 0
         while t < n_steps:
             span = min(chunk, n_steps - t)
@@ -183,7 +186,10 @@ class SequentialSimulator:
                 values = self._step_matrix(packed_steps[t + k])
                 buffer[k] = values[rows]
             unpacked = unpack_patterns(
-                buffer[:span].reshape(span * rows.size, n_words), n_seqs
+                self._backend.to_numpy(
+                    buffer[:span].reshape(span * rows.size, n_words)
+                ),
+                n_seqs,
             )
             out[:, t : t + span, :] = unpacked.reshape(n_seqs, span, rows.size)
             t += span
@@ -221,7 +227,7 @@ def _reference_settle(
     n_words: int,
 ) -> Dict[str, np.ndarray]:
     """Evaluate every net one dict-gate at a time (the original engine)."""
-    ones = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+    ones = np.full(n_words, ALL_ONES, dtype=np.uint64)
     zeros = np.zeros(n_words, dtype=np.uint64)
     values: Dict[str, np.ndarray] = {}
     for net in circuit.topological_order():
@@ -267,10 +273,10 @@ def reference_step_packed(
             fired = False
             for dff in dffs:
                 d_net, clk_net = circuit.gate(dff).inputs
-                edge = (prev_clk[dff] ^ _ALL_ONES) & values[clk_net]
+                edge = (prev_clk[dff] ^ ALL_ONES) & values[clk_net]
                 if edge.any():
                     fired = True
-                    state[dff] = (state[dff] & (edge ^ _ALL_ONES)) | (
+                    state[dff] = (state[dff] & (edge ^ ALL_ONES)) | (
                         values[d_net] & edge
                     )
             # Record clocks *before* re-settle so ripple edges are seen next pass.

@@ -97,7 +97,8 @@ def monte_carlo_pft(
     session block), so ripple effects and signal correlations that the
     analytic model ignores are captured.
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0)
     n_inputs = len(circuit.inputs)
     sim = SequentialSimulator(circuit)
     fired = 0

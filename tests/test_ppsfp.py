@@ -1,0 +1,258 @@
+"""Differential tests pinning the PPSFP engine bit-exactly.
+
+Three implementations must agree fault-for-fault, index-for-index:
+
+* ``reference_fault_sim`` — the retained per-gate/Python-int oracle,
+* ``FaultSimulator.run(mode="single")`` — the compiled per-fault cone path,
+* ``FaultSimulator.run(mode="ppsfp")`` — the parallel-pattern parallel-fault
+  engine (``repro.atpg.ppsfp``), which packs up to 64 faults into extra
+  word-column slices of one widened matrix.
+
+The suite sweeps seeded random circuits, fault-batch sizes on both sides of
+the 64-slot word boundary (1, 7, 64, 100+), and pattern counts on both sides
+of the 64-bit word boundary (1, 63, 64, 65, 130, 200) — the places where
+masking or slot arithmetic would break first.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.atpg import FaultSimulator, StuckAtFault, full_fault_list
+from repro.atpg.faultsim import PPSFP_MIN_FAULTS, reference_fault_sim
+from repro.atpg.ppsfp import FAULT_BATCH, ppsfp_detections
+from repro.bench import c17, c432_like, c880_like
+from repro.netlist import Circuit, GateType
+from repro.sim.backend import NumpyBackend, available_backends, get_backend
+from repro.sim.bitsim import WORD_BITS
+from repro.sim.compiled import compile_circuit
+
+_GATE_TYPES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.BUFF,
+]
+
+
+def random_circuit(seed: int, n_inputs: int = 8, n_gates: int = 60) -> Circuit:
+    """Seeded random combinational DAG with reconvergent fan-out.
+
+    Each gate draws its fan-in from *all* earlier nets, so deep cones and
+    shared subcones (the hard cases for cone-restricted evaluation) appear
+    naturally.  Roughly a third of the gates are made primary outputs, plus
+    every sink, so detection visibility varies across faults.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(f"rand{seed}")
+    nets = [circuit.add_input(f"i{k}") for k in range(n_inputs)]
+    for g in range(n_gates):
+        gate_type = _GATE_TYPES[rng.integers(len(_GATE_TYPES))]
+        fan_in = 1 if gate_type in (GateType.NOT, GateType.BUFF) else int(
+            rng.integers(2, min(4, len(nets)) + 1)
+        )
+        ins = rng.choice(len(nets), size=fan_in, replace=False)
+        nets.append(circuit.add_gate(f"g{g}", gate_type, [nets[i] for i in ins]))
+    driven = {inp for net in circuit.nets for inp in circuit.gate(net).inputs}
+    sinks = [n for n in nets[n_inputs:] if n not in driven]
+    chosen = {n for n in nets[n_inputs:] if rng.random() < 0.3}
+    for net in sorted(chosen | set(sinks)):
+        circuit.set_output(net)
+    return circuit
+
+
+def _patterns(circuit: Circuit, n_patterns: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random((n_patterns, len(circuit.inputs))) < 0.5).astype(np.uint8)
+
+
+def _sample_faults(circuit: Circuit, n: int, seed: int):
+    faults = full_fault_list(circuit)
+    if len(faults) <= n:
+        return faults
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(faults), n, replace=False)
+    return [faults[i] for i in sorted(chosen)]
+
+
+def _assert_same_outcome(circuit, patterns, faults, drop_detected=True):
+    """All three engines agree on detections AND first-pattern indices."""
+    sim = FaultSimulator(circuit)
+    want = reference_fault_sim(circuit, patterns, faults, drop_detected=drop_detected)
+    single = sim.run(patterns, faults, drop_detected=drop_detected, mode="single")
+    ppsfp = sim.run(patterns, faults, drop_detected=drop_detected, mode="ppsfp")
+    assert single.detected == want.detected
+    assert ppsfp.detected == want.detected
+    assert single.undetected == want.undetected
+    assert ppsfp.undetected == want.undetected
+
+
+class TestRandomCircuitDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_ppsfp_matches_reference_and_single(self, seed):
+        circuit = random_circuit(seed)
+        patterns = _patterns(circuit, 130, seed + 100)
+        faults = _sample_faults(circuit, 100, seed + 200)
+        _assert_same_outcome(circuit, patterns, faults)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_no_dropping_mode(self, seed):
+        circuit = random_circuit(seed, n_inputs=6, n_gates=40)
+        patterns = _patterns(circuit, 200, seed)
+        faults = _sample_faults(circuit, 80, seed)
+        _assert_same_outcome(circuit, patterns, faults, drop_detected=False)
+
+    @pytest.mark.parametrize("n_faults", [1, 7, 64, 100])
+    def test_batch_size_boundaries(self, n_faults):
+        """Fault counts straddling the 64-slot batch width."""
+        circuit = random_circuit(7)
+        patterns = _patterns(circuit, 96, 7)
+        faults = _sample_faults(circuit, n_faults, 7)
+        _assert_same_outcome(circuit, patterns, faults)
+
+    @pytest.mark.parametrize("n_patterns", [1, 63, 64, 65, 130, 200])
+    def test_pattern_tail_boundaries(self, n_patterns):
+        """Pattern counts straddling the 64-bit word boundary (tail masks)."""
+        circuit = random_circuit(8)
+        patterns = _patterns(circuit, n_patterns, 8)
+        faults = _sample_faults(circuit, 48, 8)
+        _assert_same_outcome(circuit, patterns, faults)
+
+    def test_explicit_batch_size_sweep(self):
+        """``ppsfp_detections`` itself at sub-word batch widths."""
+        circuit = random_circuit(9)
+        compiled = compile_circuit(circuit)
+        patterns = _patterns(circuit, 130, 9)
+        faults = _sample_faults(circuit, 70, 9)
+        want = reference_fault_sim(
+            circuit, patterns, faults, drop_detected=False
+        ).detected
+        for batch_size in (1, 7, 64):
+            got = ppsfp_detections(compiled, patterns, faults, batch_size=batch_size)
+            assert got == want, f"batch_size={batch_size}"
+
+
+class TestIscasDifferential:
+    def test_c880_bit_exact(self):
+        circuit = c880_like()
+        patterns = _patterns(circuit, 256, 42)
+        faults = _sample_faults(circuit, 128, 42)
+        _assert_same_outcome(circuit, patterns, faults)
+
+    def test_c432_undetectable_faults_survive(self):
+        """Faults the patterns never excite stay undetected, in caller order."""
+        circuit = c432_like()
+        patterns = _patterns(circuit, 100, 3)
+        faults = _sample_faults(circuit, 120, 3)
+        _assert_same_outcome(circuit, patterns, faults, drop_detected=False)
+
+
+class TestModeDispatch:
+    def test_invalid_mode_rejected(self):
+        sim = FaultSimulator(c17())
+        with pytest.raises(ValueError, match="mode"):
+            sim.run(np.zeros((2, 5), dtype=np.uint8), [], mode="turbo")
+
+    def test_auto_uses_ppsfp_for_large_runs(self, monkeypatch):
+        circuit = c880_like()
+        patterns = _patterns(circuit, 2 * WORD_BITS, 0)
+        faults = _sample_faults(circuit, max(PPSFP_MIN_FAULTS, 32), 0)
+        calls = []
+        import repro.atpg.faultsim as fs
+
+        real = fs.ppsfp_detections
+        monkeypatch.setattr(
+            fs, "ppsfp_detections", lambda *a, **k: calls.append(1) or real(*a, **k)
+        )
+        FaultSimulator(circuit).run(patterns, faults, mode="auto")
+        assert calls, "auto mode should dispatch to PPSFP at this scale"
+
+    def test_auto_stays_single_word_for_small_runs(self, monkeypatch):
+        circuit = c17()
+        patterns = _patterns(circuit, WORD_BITS, 0)  # one word: single path
+        faults = full_fault_list(circuit)
+        import repro.atpg.faultsim as fs
+
+        monkeypatch.setattr(
+            fs,
+            "ppsfp_detections",
+            lambda *a, **k: pytest.fail("PPSFP used for a one-word run"),
+        )
+        outcome = FaultSimulator(circuit).run(patterns, faults, mode="auto")
+        want = reference_fault_sim(circuit, patterns, faults)
+        assert outcome.detected == want.detected
+
+
+class TestBackendParity:
+    def test_numpy_env_var_is_byte_identical(self):
+        """``REPRO_ARRAY_BACKEND=numpy`` must not perturb a single bit.
+
+        Run the same seeded PPSFP sweep in a subprocess with the env var set
+        and compare the full detection map against the in-process default.
+        """
+        circuit = random_circuit(11)
+        patterns = _patterns(circuit, 130, 11)
+        faults = _sample_faults(circuit, 90, 11)
+        here = FaultSimulator(circuit).run(patterns, faults, mode="ppsfp")
+        expected = sorted(
+            (f.net, f.value, idx) for f, idx in here.detected.items()
+        )
+
+        script = (
+            "import json, sys\n"
+            "sys.path.insert(0, sys.argv[1])\n"
+            "from tests.test_ppsfp import random_circuit, _patterns, _sample_faults\n"
+            "from repro.atpg import FaultSimulator\n"
+            "circuit = random_circuit(11)\n"
+            "patterns = _patterns(circuit, 130, 11)\n"
+            "faults = _sample_faults(circuit, 90, 11)\n"
+            "out = FaultSimulator(circuit).run(patterns, faults, mode='ppsfp')\n"
+            "rows = sorted((f.net, f.value, i) for f, i in out.detected.items())\n"
+            "print(json.dumps(rows))\n"
+        )
+        repo_root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ, REPRO_ARRAY_BACKEND="numpy")
+        env["PYTHONPATH"] = str(repo_root / "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(repo_root)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        import json
+
+        got = [tuple(row) for row in json.loads(proc.stdout)]
+        assert got == expected
+
+    def test_explicit_numpy_backend_matches_default(self):
+        circuit = random_circuit(12)
+        patterns = _patterns(circuit, 96, 12)
+        faults = _sample_faults(circuit, 60, 12)
+        default = FaultSimulator(circuit).run(patterns, faults, mode="ppsfp")
+        explicit = FaultSimulator(circuit, backend=NumpyBackend()).run(
+            patterns, faults, mode="ppsfp"
+        )
+        assert default.detected == explicit.detected
+        assert default.undetected == explicit.undetected
+
+    def test_unknown_backend_rejected_with_choices(self):
+        with pytest.raises(ValueError, match="numpy"):
+            get_backend("tpu")
+
+    def test_cupy_guard(self):
+        """Without CuPy installed, selecting it must raise cleanly (no crash)."""
+        if "cupy" in available_backends():
+            pytest.skip("CuPy present; guard path not reachable")
+        with pytest.raises(ValueError, match="cupy"):
+            get_backend("cupy")
