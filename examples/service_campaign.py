@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Campaign through the fleet service: submit, stream, cache, query.
+
+Starts an in-process :class:`repro.service.FleetServer` (in production you
+would run ``python -m repro serve`` and point clients at it), drives a small
+benchmark x Pth grid through the typed :class:`repro.service.FleetClient`,
+then demonstrates the two properties the service adds over a bare
+:class:`repro.api.CampaignRunner`:
+
+1. **Fleet-wide dedup** — resubmitting the same campaign computes nothing:
+   every record is served from the spec-hash result cache, bit-identical to
+   the first run (the record payload is a pure function of the spec).
+2. **Columnar queries** — every record also lands in the result store, so
+   aggregates like per-circuit detection rates come from numpy column
+   scans, not re-parsing JSONL.
+
+Run:  python examples/service_campaign.py          (~1 minute)
+"""
+
+import tempfile
+import time
+
+from repro.api import CampaignSpec
+from repro.service import FleetClient, FleetServer
+
+
+def run_job(client: FleetClient, campaign: CampaignSpec) -> str:
+    job_id = client.submit(campaign, jobs=2)
+    start = time.perf_counter()
+    for record in client.stream(job_id):  # live, in emit order
+        source = record.runtime.get("cache", "computed")
+        print(
+            f"  {record.spec.circuit:<6} pth={record.spec.pth:<6g} "
+            f"[{source}] {'ok' if record.success else 'no insertion'}"
+        )
+    status = client.wait(job_id)
+    print(
+        f"job {job_id}: {status.state}, {status.n_records} records, "
+        f"{status.n_cached} from cache, {time.perf_counter() - start:.2f}s\n"
+    )
+    return job_id
+
+
+def main() -> None:
+    campaign = CampaignSpec.sweep(
+        circuits=["c17", "c432"],
+        pths=[0.9, 0.975],
+        seeds=[2019],
+        mc_sessions=0,
+        name="service_demo",
+    )
+
+    with tempfile.TemporaryDirectory(prefix="fleet_demo_") as data_dir:
+        server = FleetServer(port=0, data_dir=data_dir, jobs=2).start()
+        try:
+            client = FleetClient(server.url)
+            client.wait_ready()
+
+            print(f"server at {server.url}\n\nfirst submission (cold):")
+            run_job(client, campaign)
+
+            print("second submission (same specs, nothing recomputed):")
+            run_job(client, campaign)
+
+            # The store answers aggregate questions from column scans.
+            store = server.store
+            print("result store:", store.summary())
+            view = store.query(
+                columns=["circuit", "pth", "delta_tz_total_uw"],
+                success=True,
+            )
+            for circuit, pth, delta in zip(
+                view["circuit"], view["pth"], view["delta_tz_total_uw"]
+            ):
+                print(
+                    f"  {circuit} pth={pth:g}: inserted HT at "
+                    f"{delta:+.3f} uW power delta"
+                )
+        finally:
+            server.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,13 @@ Quickstart::
         print(record.benchmark, record.spec.pth, record.success, record.pft)
 """
 
-from .chaos import CHAOS_ENV_VAR, ChaosSpec, FaultInjector, TransientChaosError
+from .chaos import (
+    CHAOS_ENV_VAR,
+    ChaosConfigError,
+    ChaosSpec,
+    FaultInjector,
+    TransientChaosError,
+)
 from .registry import (
     CIRCUITS,
     DETECTORS,
@@ -53,6 +59,8 @@ from .spec import (
     ExperimentSpec,
     FleetPolicy,
     RetryPolicy,
+    canonicalize,
+    spec_hash,
 )
 
 __all__ = [
@@ -65,6 +73,8 @@ __all__ = [
     "ExperimentSpec",
     "CampaignSpec",
     "TABLE1_PARAMETERS",
+    "spec_hash",
+    "canonicalize",
     "FleetPolicy",
     "RetryPolicy",
     "ExperimentRecord",
@@ -74,6 +84,7 @@ __all__ = [
     "CellSupervisor",
     "SupervisorStats",
     "ChaosSpec",
+    "ChaosConfigError",
     "FaultInjector",
     "TransientChaosError",
     "CHAOS_ENV_VAR",

@@ -66,6 +66,15 @@ class TransientChaosError(Exception):
     """Injected retryable failure (also the serial downgrade of kill/hang)."""
 
 
+class ChaosConfigError(ValueError):
+    """A malformed ``REPRO_CHAOS`` value — a *configuration* mistake.
+
+    Raised before any pool or campaign machinery spins up, and rendered by
+    the CLI as a one-line error instead of a traceback: a typo in an env
+    var must read like a usage error, not like a crash deep inside pool
+    startup."""
+
+
 def _cell_key(cell_id: str) -> int:
     """Stable 32-bit key for a cell id (seeds must be ints)."""
     return zlib.crc32(cell_id.encode("utf-8"))
@@ -130,14 +139,31 @@ class ChaosSpec:
 
     @classmethod
     def from_env(cls, env_var: str = CHAOS_ENV_VAR) -> Optional["ChaosSpec"]:
-        """The spec in ``$REPRO_CHAOS``, or ``None`` when unset/empty."""
+        """The spec in ``$REPRO_CHAOS``, or ``None`` when unset/empty.
+
+        A malformed value raises :class:`ChaosConfigError` with a single
+        self-contained line (what was wrong, and the offending text) —
+        ``from None`` so the JSON machinery's internal frames never reach
+        the user."""
         raw = os.environ.get(env_var, "").strip()
         if not raw:
             return None
         try:
-            return cls.from_json(raw)
-        except (json.JSONDecodeError, TypeError, ValueError) as exc:
-            raise ValueError(f"invalid {env_var} chaos spec: {exc}") from exc
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ChaosConfigError(
+                f"{env_var} is not valid JSON ({exc.msg} at column "
+                f"{exc.colno}): {raw!r}"
+            ) from None
+        if not isinstance(data, dict):
+            raise ChaosConfigError(
+                f"{env_var} must be a JSON object of ChaosSpec fields, "
+                f"got {type(data).__name__}: {raw!r}"
+            )
+        try:
+            return cls.from_dict(data)
+        except (TypeError, ValueError) as exc:
+            raise ChaosConfigError(f"{env_var}: {exc} (in {raw!r})") from None
 
 
 class FaultInjector:

@@ -464,18 +464,22 @@ class CampaignRunner:
             # record then successful retry from a later resume).  Error
             # records do not count as done — a cell whose *latest* outcome
             # raised (worker death, transient I/O failure) must re-run,
-            # exactly like a crash-truncated line.
+            # exactly like a crash-truncated line.  Dedup keys on the
+            # canonical spec hash (the same fleet-wide key the service cache
+            # and columnar store use), so a record written by any producer —
+            # this runner, the fleet service, a hand-edited file — dedups
+            # identically.
             latest: Dict[str, ExperimentRecord] = {}
             for rec in iter_records(self.out, strict=False):
-                latest[rec.spec.cell_id()] = rec
+                latest[rec.spec.spec_hash()] = rec
             done_ids = {
-                cell_id for cell_id, rec in latest.items() if rec.error is None
+                spec_key for spec_key, rec in latest.items() if rec.error is None
             }
         pending = [
-            spec for spec in self.campaign if spec.cell_id() not in done_ids
+            spec for spec in self.campaign if spec.spec_hash() not in done_ids
         ]
         skipped = [
-            spec.cell_id() for spec in self.campaign if spec.cell_id() in done_ids
+            spec.cell_id() for spec in self.campaign if spec.spec_hash() in done_ids
         ]
 
         sink = None

@@ -15,10 +15,11 @@ holds a live circuit or detector object.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 #: Table I per-benchmark parameters: registry name -> (Pth, counter bits).
 TABLE1_PARAMETERS: Dict[str, Tuple[float, int]] = {
@@ -28,6 +29,57 @@ TABLE1_PARAMETERS: Dict[str, Tuple[float, int]] = {
     "c1908": (0.9986, 5),
     "c3540": (0.992, 5),
 }
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalize a JSON-native value tree for hashing.
+
+    Two values that serialize differently but mean the same spec must hash
+    identically: tuples become lists (dataclass fields round-trip through
+    JSON as lists), integral floats become ints (``pth=1.0`` == ``pth=1``,
+    and JSON readers are free to hand back either), and dict ordering is
+    erased by the sorted-keys dump in :func:`spec_hash`.  Non-integral
+    floats pass through untouched — ``repr`` round-trips them exactly.
+    """
+    if isinstance(value, dict):
+        return {k: canonicalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, bool):
+        # bool is an int subclass; keep True/False distinct from 1/0.
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def spec_hash(spec: Any) -> str:
+    """Canonical SHA-256 hex digest of a spec (or any JSON-native dict).
+
+    Accepts an :class:`ExperimentSpec`, a :class:`CampaignSpec`, or a plain
+    ``to_dict()``-shaped mapping.  The digest is a pure function of the
+    *meaning* of the spec — key order, tuple-vs-list, and int-vs-integral-
+    float representation differences all collapse (see :func:`canonicalize`)
+    — so it is safe as a fleet-wide primary key: the result cache of
+    :mod:`repro.service.cache`, campaign resume dedup, and the columnar
+    store of :mod:`repro.service.store` all key on it.  Payload-bit-identical
+    records per spec (guaranteed by ``derive_seed``) are what make a single
+    fleet-wide entry per hash sound.
+
+    Stability is pinned by ``tests/test_api.py::TestSpecHash`` — changing
+    the canonical form invalidates every cache and store in the wild, so it
+    must never drift silently.
+    """
+    if hasattr(spec, "to_dict"):
+        spec = spec.to_dict()
+    if not isinstance(spec, dict):
+        raise TypeError(
+            f"spec_hash expects a spec or dict, got {type(spec).__name__}"
+        )
+    text = json.dumps(
+        canonicalize(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def _check_known_keys(cls, data: dict) -> None:
@@ -104,6 +156,11 @@ class ExperimentSpec:
         """Stable, human-readable key for resume/dedup bookkeeping."""
         d = self.to_dict()
         return "|".join(f"{k}={d[k]}" for k in sorted(d))
+
+    def spec_hash(self) -> str:
+        """Canonical content hash (see module-level :func:`spec_hash`) —
+        the fleet-wide primary key for caching and the columnar store."""
+        return spec_hash(self.to_dict())
 
     def with_(self, **changes) -> "ExperimentSpec":
         """A copy with some fields replaced (specs are frozen)."""

@@ -13,6 +13,9 @@ Commands
 ``attack``     run the full TrojanZero flow on one benchmark (one spec)
 ``campaign``   run a benchmark x Pth x design grid, serially or ``--jobs N``
                in parallel, streaming JSONL records with ``--resume`` support
+               (``--server URL`` routes the grid through a fleet server)
+``serve``      run the campaign fleet service (job queue + spec-hash result
+               cache + columnar store) until interrupted
 ``table1``     regenerate the paper's Table I across all five benchmarks
 ``detect``     run the evasion experiment on a benchmark (``--mode traces``
                selects the per-cycle trace suite)
@@ -203,6 +206,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     _validate_campaign(campaign)
     if args.resume and not args.out:
         raise SystemExit("--resume requires --out")
+    if args.server and args.resume:
+        raise SystemExit(
+            "--resume is a local-mode flag; the fleet server already "
+            "dedups by canonical spec hash (no cell is computed twice)"
+        )
 
     start = time.perf_counter()
 
@@ -230,6 +238,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    if args.server:
+        return _campaign_via_server(args, campaign, policy, progress, start)
     runner = CampaignRunner(
         campaign, jobs=args.jobs, out=args.out, resume=args.resume, policy=policy
     )
@@ -240,6 +250,86 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         elapsed = time.perf_counter() - start
         print(f"campaign {campaign.name!r}: {result.summary()} [{elapsed:.1f}s]")
     return 1 if result.errors else 0
+
+
+def _campaign_via_server(args, campaign, policy, progress, start) -> int:
+    """Route a campaign grid through a running fleet server: submit the
+    spec, stream records back (optionally appending to ``--out``), and
+    mirror the local command's output and exit-code behavior."""
+    from .service import FleetClient, FleetServiceError
+
+    client = FleetClient(args.server)
+    records = []
+    sink = None
+    try:
+        client.wait_ready()  # tolerate a server that is still binding
+        job_id = client.submit(campaign, jobs=args.jobs, policy=policy)
+        if args.out:
+            sink = open(args.out, "a", encoding="utf-8")
+        for record in client.stream(job_id):
+            records.append(record)
+            if sink is not None:
+                sink.write(record.to_json_line() + "\n")
+                sink.flush()
+            progress(record)
+        status = client.status(job_id)
+    except FleetServiceError as exc:
+        raise SystemExit(str(exc)) from None
+    finally:
+        if sink is not None:
+            sink.close()
+    errors = [r for r in records if r.error is not None]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], sort_keys=True))
+    else:
+        elapsed = time.perf_counter() - start
+        parts = [
+            f"{len(records)} records from {args.server} ({status.state})",
+            f"{sum(1 for r in records if r.error is None and r.success)} "
+            "insertions succeeded",
+            f"{len(errors)} errors",
+        ]
+        if status.n_cached:
+            parts.append(f"{status.n_cached} served from cache")
+        if args.out:
+            parts.append(f"records -> {args.out}")
+        print(f"campaign {campaign.name!r}: {', '.join(parts)} [{elapsed:.1f}s]")
+    return 1 if errors or status.state != "done" else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api.chaos import ChaosConfigError, ChaosSpec
+    from .service import FleetServer
+
+    try:
+        ChaosSpec.from_env()  # surface a malformed REPRO_CHAOS before binding
+        policy = FleetPolicy(
+            timeout_s=args.timeout,
+            retry=RetryPolicy(max_retries=args.retries),
+            max_errors=args.max_errors,
+        )
+        server = FleetServer(
+            host=args.host,
+            port=args.port,
+            data_dir=args.data,
+            jobs=args.jobs,
+            policy=policy,
+            use_cache=not args.no_cache,
+        )
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"fleet server on {server.url} (data: {server.data_dir}, "
+        f"{args.jobs} worker{'s' if args.jobs != 1 else ''}/job, cache "
+        f"{'off' if args.no_cache else 'on'}); Ctrl-C for graceful shutdown",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining running job)...", file=sys.stderr)
+        server.close()
+    return 0
 
 
 def _cmd_traces(args: argparse.Namespace) -> int:
@@ -459,10 +549,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "flushed and finalized)")
     p.add_argument("--out", help="append one JSON record per cell to this JSONL file")
     p.add_argument("--resume", action="store_true",
-                   help="skip cells whose records already exist in --out")
+                   help="skip cells whose records already exist in --out; "
+                        "dedup is last-record-wins per cell (keyed on the "
+                        "canonical spec hash), so a cell whose latest record "
+                        "is an error re-runs while an older error followed "
+                        "by a success stays done")
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="submit the grid to a running fleet server "
+                        "(see `repro serve`) instead of executing locally; "
+                        "records stream back as cells finish and repeated "
+                        "submissions are served from the spec-hash cache")
     p.add_argument("--json", action="store_true",
                    help="print all records as a JSON array on stdout")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign fleet service (job queue + result cache + "
+             "columnar store)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8732,
+                   help="bind port (0 picks an ephemeral port)")
+    p.add_argument("--data", default="fleet_data",
+                   help="service state directory (cache/, store/, jobs/)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="default worker processes per submitted job")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall-clock timeout in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="max retries per cell for transient failures")
+    p.add_argument("--max-errors", type=int, default=None,
+                   help="per-job circuit breaker on error records")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the spec-hash result cache (recompute "
+                        "every cell)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("table1", help="regenerate the paper's Table I")
     p.add_argument("--seed", type=int, default=None)
@@ -533,6 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    from .api.chaos import ChaosConfigError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.backend is not None:
@@ -542,7 +666,12 @@ def main(argv: Optional[list] = None) -> int:
         # Campaign workers are separate processes; they inherit the choice
         # through the environment.
         os.environ[ENV_VAR] = args.backend
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ChaosConfigError as exc:
+        # A malformed REPRO_CHAOS is a usage error, not a crash: one line,
+        # no traceback from inside campaign/pool startup.
+        raise SystemExit(f"error: {exc}") from None
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,71 @@
+"""Campaign fleet service: job queue, typed client, result cache, store.
+
+The service layer turns the single-machine campaign machinery into a
+long-running evaluation fleet while keeping the pure core untouched —
+``run_experiment(spec) -> record`` stays the unit of work; this package
+only adds transport, memoization, and storage around it:
+
+:mod:`repro.service.server`
+    :class:`FleetServer` — stdlib ``ThreadingHTTPServer`` job queue that
+    expands submitted :class:`~repro.api.spec.CampaignSpec` s and drives
+    them through :class:`~repro.api.fleet.CellSupervisor` (worker-death
+    recovery, timeouts, seeded retries) with heartbeats and graceful
+    shutdown.
+:mod:`repro.service.client`
+    :class:`FleetClient` — ``submit / status / stream / poll / cancel``
+    over plain HTTP, returning the same typed records the local API does.
+:mod:`repro.service.cache`
+    :class:`ResultCache` — content-addressed records keyed on the
+    canonical :func:`repro.api.spec.spec_hash`; payload-bit-identical
+    records per spec make the cache sound, so no cell is ever computed
+    twice fleet-wide.
+:mod:`repro.service.store`
+    :class:`ResultStore` — append-JSONL ingest compacted into typed numpy
+    column files with a small filter/project/aggregate query API.
+
+Quickstart::
+
+    # terminal 1
+    #   python -m repro serve --port 8732 --data fleet_data --jobs 2
+    from repro.api import CampaignSpec
+    from repro.service import FleetClient
+
+    client = FleetClient("http://127.0.0.1:8732")
+    job_id = client.submit(CampaignSpec.table1(seed=0))
+    for record in client.stream(job_id):
+        print(record.spec.circuit, record.success)
+"""
+
+from .cache import CacheStats, ResultCache
+from .client import FleetClient, FleetServiceError
+from .protocol import (
+    JOB_STATES,
+    PROTOCOL_VERSION,
+    TERMINAL_STATES,
+    JobStatus,
+    RecordsPage,
+)
+from .server import FleetServer
+from .store import (
+    COLUMNS,
+    STORE_SCHEMA_VERSION,
+    CompactionStats,
+    ResultStore,
+)
+
+__all__ = [
+    "FleetServer",
+    "FleetClient",
+    "FleetServiceError",
+    "ResultCache",
+    "CacheStats",
+    "ResultStore",
+    "CompactionStats",
+    "JobStatus",
+    "RecordsPage",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "PROTOCOL_VERSION",
+    "COLUMNS",
+    "STORE_SCHEMA_VERSION",
+]

@@ -1,0 +1,156 @@
+"""Spec-hash result cache: a campaign cell is never computed twice.
+
+Every :class:`~repro.api.runner.ExperimentRecord` payload is a pure function
+of its spec (one master seed drives every RNG via ``derive_seed``; parallel
+and serial runs are payload-bit-identical), so the canonical
+:func:`repro.api.spec.spec_hash` is a sound fleet-wide cache key: any record
+ever produced for a spec is *the* record for that spec.  :class:`ResultCache`
+is the content-addressed store the fleet server consults before dispatching
+a cell — resubmitting a campaign costs file reads, not pipeline runs.
+
+Layout is one JSON file per record, two-level fan-out to keep directories
+small::
+
+    <root>/ab/abcdef....json        # spec_hash[:2] / spec_hash
+
+Writes go through a same-directory temp file + ``os.replace`` so concurrent
+writers (multiple servers sharing a cache root over NFS, a server racing a
+backfill script) can only ever publish complete records — a reader sees the
+old entry or the new one, never a torn write.  Error records are not
+cached: an error is not a value of the spec, it is an artifact of one run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from ..api.runner import ExperimentRecord
+from ..api.spec import ExperimentSpec
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    #: Entries that existed but failed to parse (treated as misses and
+    #: overwritten by the next put).
+    corrupt: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed record cache keyed on canonical spec hashes."""
+
+    root: Union[str, Path]
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------
+    def path_for(self, spec_hash: str) -> Path:
+        return Path(self.root) / spec_hash[:2] / f"{spec_hash}.json"
+
+    @staticmethod
+    def key(spec: ExperimentSpec) -> str:
+        return spec.spec_hash()
+
+    # -- operations --------------------------------------------------------
+    def get(self, spec: ExperimentSpec) -> Optional[ExperimentRecord]:
+        """The cached record for ``spec``, or ``None`` on a miss.
+
+        A hit is returned with ``runtime["cache"] = "hit"`` so downstream
+        consumers (job status counters, latency benchmarks) can tell served
+        from computed without touching the deterministic payload —
+        ``runtime`` is excluded from ``payload_dict()``.
+        """
+        path = self.path_for(self.key(spec))
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            self.stats.misses += 1
+            return None
+        try:
+            record = ExperimentRecord.from_dict(json.loads(text))
+        except (ValueError, TypeError, KeyError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        if record.spec != spec:
+            # Hash collision or a foreign file dropped into the tree: the
+            # payload would not be a value of *this* spec, so refuse it.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        runtime = dict(record.runtime)
+        runtime["cache"] = "hit"
+        rec_dict = record.to_dict()
+        rec_dict["runtime"] = runtime
+        return ExperimentRecord.from_dict(rec_dict)
+
+    def put(self, record: ExperimentRecord) -> bool:
+        """Publish a record; returns True if it was written.
+
+        Error records are rejected (a retryable failure must stay
+        retryable), and an existing entry is left in place — first write
+        wins, which is equivalent to last write because payloads per spec
+        are bit-identical.
+        """
+        if record.error is not None:
+            return False
+        path = self.path_for(self.key(record.spec))
+        if path.exists():
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rec_dict = record.to_dict()
+        # The runtime section carries one run's wall-clock artifacts; keep
+        # it (useful provenance) but drop any stale hit marker so a future
+        # get() marks its own.
+        runtime = dict(rec_dict.get("runtime") or {})
+        runtime.pop("cache", None)
+        rec_dict["runtime"] = runtime
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(rec_dict, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        return True
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return self.path_for(self.key(spec)).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_hashes())
+
+    def iter_hashes(self) -> Iterator[str]:
+        for shard in sorted(Path(self.root).iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem

@@ -1,0 +1,199 @@
+"""Typed client for the fleet service (stdlib ``urllib`` transport).
+
+:class:`FleetClient` mirrors the exemplar shape of circuit_training's
+``plc_client_os`` — an expensive evaluator wrapped behind a small typed API:
+the pure core stays ``run_experiment(spec) -> record``; the client only
+moves specs one way and records the other.  Everything it returns is the
+same typed object the local API hands out (:class:`~repro.api.runner.
+ExperimentRecord`, :class:`~repro.service.protocol.JobStatus`), so code
+written against a local :class:`~repro.api.runner.CampaignRunner` ports to
+the service by swapping the call site::
+
+    client = FleetClient("http://127.0.0.1:8732")
+    job_id = client.submit(campaign, jobs=2)
+    for record in client.stream(job_id):     # records as cells finish
+        print(record.spec.circuit, record.success)
+    status = client.status(job_id)           # terminal: done/cancelled/failed
+
+Transport failures raise :class:`FleetServiceError` (carrying the HTTP
+status when there is one); the server's one-line error envelope becomes the
+exception message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, List, Optional, Union
+
+from ..api.runner import ExperimentRecord
+from ..api.spec import CampaignSpec, ExperimentSpec, FleetPolicy
+from .protocol import JobStatus, RecordsPage, submit_payload
+
+
+class FleetServiceError(RuntimeError):
+    """A request the service refused or could not be delivered."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class FleetClient:
+    """Typed HTTP client for :class:`~repro.service.server.FleetServer`.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``http://127.0.0.1:8732``.
+    timeout_s:
+        Per-request socket timeout.
+    poll_s:
+        Default sleep between polls in :meth:`stream` / :meth:`wait`.
+    """
+
+    def __init__(
+        self, base_url: str, timeout_s: float = 30.0, poll_s: float = 0.2
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+
+    # -- transport -------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get(
+                    "error", exc.reason
+                )
+            except (ValueError, UnicodeDecodeError):
+                detail = str(exc.reason)
+            raise FleetServiceError(
+                f"{method} {path} -> {exc.code}: {detail}", status=exc.code
+            ) from None
+        except (urllib.error.URLError, OSError) as exc:
+            reason = getattr(exc, "reason", exc)
+            raise FleetServiceError(
+                f"{method} {path}: cannot reach fleet server at "
+                f"{self.base_url} ({reason})"
+            ) from None
+
+    # -- API -------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def wait_ready(self, timeout_s: float = 10.0) -> dict:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.health()
+            except FleetServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(self.poll_s, 0.1))
+
+    def submit(
+        self,
+        campaign: Union[CampaignSpec, ExperimentSpec],
+        jobs: Optional[int] = None,
+        policy: Optional[FleetPolicy] = None,
+    ) -> str:
+        """Submit a campaign (or a single spec, wrapped into a one-cell
+        campaign) and return its job id."""
+        if isinstance(campaign, ExperimentSpec):
+            campaign = CampaignSpec.of([campaign], name="single")
+        payload = submit_payload(
+            campaign.to_dict(),
+            jobs=jobs,
+            policy_dict=policy.to_dict() if policy is not None else None,
+        )
+        return self._request("POST", "/jobs", payload)["job_id"]
+
+    def status(self, job_id: str) -> JobStatus:
+        return JobStatus.from_dict(self._request("GET", f"/jobs/{job_id}"))
+
+    def jobs(self) -> List[JobStatus]:
+        data = self._request("GET", "/jobs")
+        return [JobStatus.from_dict(d) for d in data["jobs"]]
+
+    def records(self, job_id: str, since: int = 0) -> RecordsPage:
+        """One page of records starting at the ``since`` cursor (does not
+        block; pair with :attr:`RecordsPage.next` to resume)."""
+        return RecordsPage.from_dict(
+            self._request("GET", f"/jobs/{job_id}/records?since={since}")
+        )
+
+    def stream(
+        self,
+        job_id: str,
+        since: int = 0,
+        poll_s: Optional[float] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Iterator[ExperimentRecord]:
+        """Yield records as the server produces them, returning when the
+        job reaches a terminal state (raises :class:`FleetServiceError` on
+        ``timeout_s`` of total wall clock, ``None`` = wait forever)."""
+        poll = self.poll_s if poll_s is None else poll_s
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        cursor = since
+        while True:
+            page = self.records(job_id, since=cursor)
+            for rec_dict in page.records:
+                yield ExperimentRecord.from_dict(rec_dict)
+            cursor = page.next
+            if page.done:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise FleetServiceError(
+                    f"job {job_id} still {page.state!r} after "
+                    f"{timeout_s}s (records seen: {cursor})"
+                )
+            time.sleep(poll)
+
+    def poll(
+        self, job_id: str, timeout_s: Optional[float] = None
+    ) -> List[ExperimentRecord]:
+        """Block until the job finishes; return all its records."""
+        return list(self.stream(job_id, timeout_s=timeout_s))
+
+    def wait(self, job_id: str, timeout_s: Optional[float] = None) -> JobStatus:
+        """Block until the job reaches a terminal state (ignores records)."""
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            status = self.status(job_id)
+            if status.done:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise FleetServiceError(
+                    f"job {job_id} still {status.state!r} after {timeout_s}s"
+                )
+            time.sleep(self.poll_s)
+
+    def cancel(self, job_id: str) -> JobStatus:
+        """Request cancellation (effective at the next cell boundary)."""
+        return JobStatus.from_dict(
+            self._request("POST", f"/jobs/{job_id}/cancel")
+        )

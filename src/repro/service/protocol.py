@@ -1,0 +1,147 @@
+"""Wire protocol shared by the fleet server and the typed client.
+
+Everything that crosses the HTTP boundary is JSON-native and defined here
+once, so :mod:`repro.service.server` and :mod:`repro.service.client` cannot
+drift apart: job lifecycle states, the :class:`JobStatus` snapshot shape,
+submit/records/cancel payloads, and the error envelope.  The transport is
+deliberately dumb — newline-free JSON bodies over plain HTTP/1.1 — because
+the *records* are the contract: the payload of every
+:class:`~repro.api.runner.ExperimentRecord` a job streams back is
+bit-identical to what a local serial :class:`~repro.api.runner.
+CampaignRunner` would produce for the same spec (asserted in CI).
+
+Endpoints (all JSON in / JSON out)::
+
+    GET  /healthz                 server liveness + queue depth + cache stats
+    POST /jobs                    {"campaign": {...}, "jobs"?, "policy"?}
+                                  -> {"job_id": ...}
+    GET  /jobs                    {"jobs": [JobStatus, ...]}
+    GET  /jobs/<id>               JobStatus
+    GET  /jobs/<id>/records?since=N
+                                  {"records": [...], "next": M,
+                                   "state": ..., "done": bool}
+    POST /jobs/<id>/cancel        JobStatus (cancellation is cooperative:
+                                  it takes effect at the next cell boundary)
+
+Errors use the envelope ``{"error": "<one line>"}`` with a 4xx/5xx status;
+the client raises :class:`~repro.service.client.FleetServiceError` carrying
+both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+#: Bump when the wire shapes change incompatibly (checked in /healthz).
+PROTOCOL_VERSION = 1
+
+# -- job lifecycle -------------------------------------------------------
+
+#: A submitted job waiting for the drain thread.
+QUEUED = "queued"
+#: The drain thread is executing the job's cells.
+RUNNING = "running"
+#: Every cell produced a record (possibly error records).
+DONE = "done"
+#: Cancelled before completion; records produced so far are retained.
+CANCELLED = "cancelled"
+#: The job machinery itself raised (not a cell error — those become
+#: error records inside a ``done`` job).
+FAILED = "failed"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, CANCELLED, FAILED)
+
+#: States in which no further records can arrive.
+TERMINAL_STATES = (DONE, CANCELLED, FAILED)
+
+
+@dataclass
+class JobStatus:
+    """Snapshot of one job, as served by ``GET /jobs/<id>``.
+
+    Counters are monotonic while the job runs; ``n_records`` is the
+    high-water mark for the ``since`` cursor of the records endpoint.
+    """
+
+    job_id: str
+    state: str
+    campaign: str
+    #: Cells in the submitted campaign.
+    n_cells: int
+    #: Records available to stream (cache hits + computed, in emit order).
+    n_records: int = 0
+    #: Records satisfied from the spec-hash result cache (never recomputed).
+    n_cached: int = 0
+    #: Records carrying a non-None ``error``.
+    n_errors: int = 0
+    #: Unix timestamps (server clock).
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Last sign of life from the executing worker (updated between cells
+    #: and on a ~1 s tick during long cells).
+    heartbeat_at: Optional[float] = None
+    #: Seconds since ``heartbeat_at`` at response time (server-computed, so
+    #: clients need not share the server's clock).
+    heartbeat_age_s: Optional[float] = None
+    #: One-line reason for ``failed`` / ``cancelled`` states.
+    detail: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobStatus":
+        known = {f for f in cls.__dataclass_fields__}  # tolerate additions
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+@dataclass
+class RecordsPage:
+    """One page of the record stream (``GET /jobs/<id>/records``)."""
+
+    records: List[dict]
+    #: Pass as the next ``since`` cursor.
+    next: int
+    state: str
+    done: bool
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecordsPage":
+        return cls(
+            records=list(data["records"]),
+            next=int(data["next"]),
+            state=data["state"],
+            done=bool(data["done"]),
+        )
+
+
+def submit_payload(
+    campaign_dict: dict,
+    jobs: Optional[int] = None,
+    policy_dict: Optional[dict] = None,
+) -> dict:
+    """Body of ``POST /jobs`` (client-side constructor)."""
+    payload: Dict[str, Any] = {"campaign": campaign_dict}
+    if jobs is not None:
+        payload["jobs"] = jobs
+    if policy_dict is not None:
+        payload["policy"] = policy_dict
+    return payload
+
+
+def error_body(message: str) -> bytes:
+    return json.dumps({"error": message}).encode("utf-8")
+
+
+def json_body(data: dict) -> bytes:
+    return json.dumps(data, sort_keys=True).encode("utf-8")

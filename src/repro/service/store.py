@@ -1,0 +1,359 @@
+"""Columnar result store + query layer over campaign records.
+
+Ad-hoc JSONL post-processing (grep + json.loads per line) stops scaling the
+moment campaigns reach thousands of cells: every question re-parses every
+record.  :class:`ResultStore` splits the path in two:
+
+* **Ingest** is append-only JSONL (``<root>/ingest.jsonl``) — cheap, crash-
+  tolerant, same format the campaign runner already streams, so a server
+  can ingest on the hot path without ever blocking a record.
+* **Compaction** folds the ingest log into *typed numpy column files*
+  (``<root>/columns/<name>.npy`` + a JSON manifest), deduplicating
+  last-record-wins on the canonical :func:`repro.api.spec.spec_hash` — the
+  same fleet-wide primary key the result cache uses.  Queries then touch
+  only the columns they project: a detection-rate aggregate over 10^5 rows
+  loads two small arrays, not 10^5 JSON documents.
+
+The query API is deliberately tiny — equality/membership filters, column
+projection, and a detection-rate aggregate — because rows come back as
+plain numpy arrays: anything fancier composes in user code with boolean
+masks.
+
+Example::
+
+    store = ResultStore("results_store")
+    for record in iter_records("campaign.jsonl", strict=False):
+        store.ingest(record)
+    hit = store.query(circuit="c432", columns=("pth", "evades"))
+    rates = store.detection_rate(by="circuit")
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..api.runner import ExperimentRecord
+
+#: Bump when the column schema changes incompatibly; compaction refuses to
+#: merge into a store written by a different version.
+STORE_SCHEMA_VERSION = 1
+
+#: Sentinel for "no seed" in the integer seed column (spec seeds are
+#: non-negative by convention across this repo).
+NO_SEED = -1
+
+#: Tri-state for the ``evades`` column: unknown / caught / evaded.
+EVADES_UNKNOWN, EVADES_NO, EVADES_YES = -1, 0, 1
+
+
+def _nan_mean(values: Dict[str, float]) -> float:
+    vals = [float(v) for v in values.values()]
+    return float(sum(vals) / len(vals)) if vals else math.nan
+
+
+def _f(value: Optional[float]) -> float:
+    return math.nan if value is None else float(value)
+
+
+def _row(record: ExperimentRecord) -> Dict[str, Any]:
+    """Flatten one record into the column schema (one value per column)."""
+    spec = record.spec
+    detection = record.detection or {}
+    trigger = record.trigger or {}
+    delta_tz = record.delta_tz or {}
+    delta_salvage = record.delta_salvage or {}
+    evades = detection.get("evades")
+    return {
+        "spec_hash": spec.spec_hash(),
+        "circuit": spec.circuit,
+        "design": spec.design or "",
+        "detector": spec.detector or "",
+        "pth": float(spec.pth),
+        "seed": NO_SEED if spec.seed is None else int(spec.seed),
+        "mc_sessions": int(spec.mc_sessions),
+        "success": bool(record.success),
+        "has_error": record.error is not None,
+        "gates": int(record.gates),
+        "inputs": int(record.inputs),
+        "candidates": int(record.candidates),
+        "expendable": int(record.expendable),
+        "accepted_edits": int(record.accepted_edits),
+        "pft_analytic": _f(trigger.get("pft_analytic")),
+        "pft_monte_carlo": _f(trigger.get("pft_monte_carlo")),
+        "delta_tz_total_uw": _f(delta_tz.get("total_uw")),
+        "delta_tz_area_ge": _f(delta_tz.get("area_ge")),
+        "delta_salvage_total_uw": _f(delta_salvage.get("total_uw")),
+        "evades": (
+            EVADES_UNKNOWN if evades is None
+            else (EVADES_YES if evades else EVADES_NO)
+        ),
+        "tz_flag_rate": _nan_mean(detection.get("trojanzero_rates") or {}),
+    }
+
+
+#: name -> numpy dtype; ``None`` lets numpy size unicode columns to the data.
+COLUMN_DTYPES: Dict[str, Optional[str]] = {
+    "spec_hash": None,
+    "circuit": None,
+    "design": None,
+    "detector": None,
+    "pth": "f8",
+    "seed": "i8",
+    "mc_sessions": "i8",
+    "success": "?",
+    "has_error": "?",
+    "gates": "i8",
+    "inputs": "i8",
+    "candidates": "i8",
+    "expendable": "i8",
+    "accepted_edits": "i8",
+    "pft_analytic": "f8",
+    "pft_monte_carlo": "f8",
+    "delta_tz_total_uw": "f8",
+    "delta_tz_area_ge": "f8",
+    "delta_salvage_total_uw": "f8",
+    "evades": "i1",
+    "tz_flag_rate": "f8",
+}
+
+COLUMNS: Tuple[str, ...] = tuple(COLUMN_DTYPES)
+
+
+@dataclass
+class CompactionStats:
+    """What one :meth:`ResultStore.compact` call did."""
+
+    ingested: int = 0
+    #: Ingest lines that failed to parse (skipped, not fatal — same
+    #: last-record-wins tolerance as campaign resume).
+    skipped: int = 0
+    #: Ingested rows that replaced an existing row with the same spec hash.
+    superseded: int = 0
+    rows: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "ingested": self.ingested,
+            "skipped": self.skipped,
+            "superseded": self.superseded,
+            "rows": self.rows,
+        }
+
+
+class ResultStore:
+    """Append-JSONL ingest + compacted numpy column files + query API."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._columns_dir = self.root / "columns"
+        self._ingest_path = self.root / "ingest.jsonl"
+        self._manifest_path = self.root / "manifest.json"
+        self._cache: Dict[str, np.ndarray] = {}
+
+    # -- ingest ----------------------------------------------------------
+    def ingest(self, record: ExperimentRecord) -> None:
+        """Append one record to the ingest log (no compaction, no parsing
+        cost beyond serialization — safe on a server's record hot path)."""
+        with open(self._ingest_path, "a", encoding="utf-8") as handle:
+            handle.write(record.to_json_line() + "\n")
+
+    def ingest_many(self, records: Sequence[ExperimentRecord]) -> None:
+        with open(self._ingest_path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(record.to_json_line() + "\n")
+
+    @property
+    def pending_ingest(self) -> bool:
+        try:
+            return self._ingest_path.stat().st_size > 0
+        except OSError:
+            return False
+
+    # -- manifest / columns ------------------------------------------------
+    def _read_manifest(self) -> Optional[dict]:
+        try:
+            manifest = json.loads(self._manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if manifest.get("version") != STORE_SCHEMA_VERSION:
+            raise ValueError(
+                f"store at {self.root} has schema version "
+                f"{manifest.get('version')!r}, this build reads "
+                f"{STORE_SCHEMA_VERSION}"
+            )
+        return manifest
+
+    def __len__(self) -> int:
+        manifest = self._read_manifest()
+        rows = manifest["rows"] if manifest else 0
+        if self.pending_ingest:
+            self.compact()
+            manifest = self._read_manifest()
+            rows = manifest["rows"] if manifest else 0
+        return rows
+
+    def column(self, name: str) -> np.ndarray:
+        """One typed column, loading only that column's file (compacting
+        first if the ingest log has pending rows)."""
+        if name not in COLUMN_DTYPES:
+            raise KeyError(
+                f"unknown column {name!r}; columns: {', '.join(COLUMNS)}"
+            )
+        if self.pending_ingest:
+            self.compact()
+        if name in self._cache:
+            return self._cache[name]
+        path = self._columns_dir / f"{name}.npy"
+        if not path.exists():
+            dtype = COLUMN_DTYPES[name] or "U1"
+            return np.empty(0, dtype=dtype)
+        array = np.load(path, allow_pickle=False)
+        self._cache[name] = array
+        return array
+
+    # -- compaction --------------------------------------------------------
+    def compact(self) -> CompactionStats:
+        """Fold the ingest log into the column files.
+
+        Dedup is last-record-wins on ``spec_hash`` — identical semantics to
+        campaign ``--resume`` — with existing compacted rows counting as
+        older than every ingest row.  Unparseable ingest lines (crash-
+        truncated tails) are skipped, not fatal.  The ingest log is cleared
+        only after the new columns and manifest are fully on disk.
+        """
+        stats = CompactionStats()
+        rows: Dict[str, Dict[str, Any]] = {}
+        manifest = self._read_manifest()
+        if manifest is not None and manifest["rows"] > 0:
+            existing = {
+                name: np.load(self._columns_dir / f"{name}.npy",
+                              allow_pickle=False)
+                for name in COLUMNS
+            }
+            for i in range(manifest["rows"]):
+                row = {name: existing[name][i].item() for name in COLUMNS}
+                rows[row["spec_hash"]] = row
+        if self._ingest_path.exists():
+            with open(self._ingest_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    try:
+                        record = ExperimentRecord.from_json_line(line)
+                    except (ValueError, TypeError, KeyError):
+                        stats.skipped += 1
+                        continue
+                    row = _row(record)
+                    if row["spec_hash"] in rows:
+                        stats.superseded += 1
+                    rows[row["spec_hash"]] = row
+                    stats.ingested += 1
+
+        self._columns_dir.mkdir(parents=True, exist_ok=True)
+        ordered = list(rows.values())
+        dtypes: Dict[str, str] = {}
+        for name in COLUMNS:
+            dtype = COLUMN_DTYPES[name]
+            values = [row[name] for row in ordered]
+            if dtype is None:
+                array = np.array(values, dtype=np.str_) if values else (
+                    np.empty(0, dtype="U1")
+                )
+            else:
+                array = np.array(values, dtype=dtype)
+            np.save(self._columns_dir / f"{name}.npy", array,
+                    allow_pickle=False)
+            dtypes[name] = str(array.dtype)
+        stats.rows = len(ordered)
+        self._manifest_path.write_text(
+            json.dumps(
+                {
+                    "version": STORE_SCHEMA_VERSION,
+                    "rows": stats.rows,
+                    "columns": dtypes,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        # Columns + manifest are durable; now (and only now) drop the log.
+        if self._ingest_path.exists():
+            self._ingest_path.unlink()
+        self._cache.clear()
+        return stats
+
+    # -- query ---------------------------------------------------------------
+    def _mask(self, filters: Dict[str, Any]) -> np.ndarray:
+        n = len(self)
+        mask = np.ones(n, dtype=bool)
+        for name, wanted in filters.items():
+            col = self.column(name)
+            if isinstance(wanted, (list, tuple, set, frozenset, np.ndarray)):
+                mask &= np.isin(col, np.array(sorted(wanted), dtype=col.dtype))
+            elif callable(wanted):
+                mask &= np.asarray(wanted(col), dtype=bool)
+            else:
+                mask &= col == np.asarray(wanted, dtype=col.dtype)
+        return mask
+
+    def query(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        **filters: Any,
+    ) -> Dict[str, np.ndarray]:
+        """Filtered, projected view as ``{column: array}``.
+
+        ``filters`` are keyed by column name; a scalar means equality, a
+        list/tuple/set membership, and a callable is applied to the column
+        array and must return a boolean mask (e.g. ``pth=lambda p: p >
+        0.99``).  ``columns=None`` projects everything.
+        """
+        names = tuple(columns) if columns is not None else COLUMNS
+        for name in names:
+            if name not in COLUMN_DTYPES:
+                raise KeyError(
+                    f"unknown column {name!r}; columns: {', '.join(COLUMNS)}"
+                )
+        mask = self._mask(filters)
+        return {name: self.column(name)[mask] for name in names}
+
+    def detection_rate(
+        self, by: str = "circuit", **filters: Any
+    ) -> Dict[Any, float]:
+        """Fraction of *evaluated* cells whose Trojan was caught, grouped by
+        a column (cells without a detector verdict are excluded)."""
+        mask = self._mask(filters) & (self.column("evades") != EVADES_UNKNOWN)
+        groups = self.column(by)[mask]
+        caught = self.column("evades")[mask] == EVADES_NO
+        return {
+            key.item() if hasattr(key, "item") else key: float(
+                caught[groups == key].mean()
+            )
+            for key in np.unique(groups)
+        }
+
+    def summary(self) -> dict:
+        """Row count plus per-circuit success/error tallies."""
+        n = len(self)
+        circuits = self.column("circuit")
+        success = self.column("success")
+        errors = self.column("has_error")
+        return {
+            "rows": n,
+            "circuits": {
+                c.item(): {
+                    "rows": int((circuits == c).sum()),
+                    "success": int(success[circuits == c].sum()),
+                    "errors": int(errors[circuits == c].sum()),
+                }
+                for c in np.unique(circuits)
+            },
+        }

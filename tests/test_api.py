@@ -17,6 +17,7 @@ from repro.api import (
     ExperimentRecord,
     ExperimentSpec,
     TABLE1_PARAMETERS,
+    canonicalize,
     detect_seed_for,
     execute_experiment,
     load_records,
@@ -24,6 +25,7 @@ from repro.api import (
     resolve_designs,
     run_campaign,
     run_experiment,
+    spec_hash,
 )
 from repro.core import TableRow
 from repro.trojan.library import TrojanDesign
@@ -288,3 +290,165 @@ class TestCampaignRunner:
         with pytest.raises(ValueError, match="invalid record"):
             load_records(path)
         assert len(load_records(path, strict=False)) == 1
+
+
+class TestSpecHash:
+    """Canonical spec hashing (`repro.api.spec_hash`).
+
+    The pinned digests below are load-bearing: the fleet service's result
+    cache, the columnar store, and `--resume` dedup all key on this hash,
+    so a silent change to the canonicalization invalidates every cache
+    on disk.  If one of these assertions fails, you changed the hash
+    contract — bump the cache/store schema versions rather than repinning
+    casually.
+    """
+
+    PINNED = {
+        "c17": "4711e67ac8dcb44831de6acf84cf1124f8016b3c6922aec9ccbb8dd55bcb9c64",
+        "c432": "aac15f69d3f459c2f4cecc54d016dd0480d382b66d9b9786350a134241451907",
+        "campaign": "b45e34ef18732d7e9a97824c85b84e6198bdbc7a42e50d1a770b2b81b3a73ff5",
+    }
+
+    def test_pinned_digests_are_stable(self):
+        s1 = ExperimentSpec(circuit="c17", pth=0.9)
+        s2 = ExperimentSpec(
+            circuit="c432", pth=0.975, design="counter2", seed=5, mc_sessions=8
+        )
+        assert spec_hash(s1) == self.PINNED["c17"]
+        assert spec_hash(s2) == self.PINNED["c432"]
+        assert spec_hash(CampaignSpec.of([s1], name="x")) == self.PINNED["campaign"]
+
+    def test_method_matches_module_function(self):
+        spec = ExperimentSpec(circuit="c17", pth=0.9)
+        assert spec.spec_hash() == spec_hash(spec) == spec_hash(spec.to_dict())
+
+    def test_numeric_normalization(self):
+        # Integral floats hash like ints: 8.0 MC sessions is the same
+        # experiment as 8, however the spec was deserialized.
+        assert spec_hash({"a": 8.0}) == spec_hash({"a": 8})
+        assert spec_hash({"a": 8.5}) != spec_hash({"a": 8})
+
+    def test_sequence_normalization(self):
+        # Tuples and lists are the same wire value (JSON has only arrays).
+        assert spec_hash({"xs": (1, 2)}) == spec_hash({"xs": [1, 2]})
+        assert spec_hash({"xs": [1, 2]}) != spec_hash({"xs": [2, 1]})
+
+    def test_bool_stays_distinct_from_int(self):
+        # True == 1 in Python; the canonical form must not conflate them.
+        assert spec_hash({"flag": True}) != spec_hash({"flag": 1})
+        assert canonicalize({"flag": True}) == {"flag": True}
+
+    def test_key_order_is_irrelevant(self):
+        assert spec_hash({"a": 1, "b": 2}) == spec_hash({"b": 2, "a": 1})
+
+    def test_hash_ignores_nothing_semantic(self):
+        base = ExperimentSpec(circuit="c17", pth=0.9)
+        assert spec_hash(base) != spec_hash(ExperimentSpec(circuit="c17", pth=0.95))
+        assert spec_hash(base) != spec_hash(
+            ExperimentSpec(circuit="c17", pth=0.9, seed=1)
+        )
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError, match="spec_hash"):
+            spec_hash([1, 2, 3])
+
+    def test_resume_dedup_keys_on_hash(self, tmp_path):
+        # A record written by an older run whose cell_id formatting differed
+        # would still dedup, because resume now keys on the canonical hash.
+        spec = ExperimentSpec(circuit="c17", pth=0.9)
+        record = run_experiment(spec)
+        out = tmp_path / "resume.jsonl"
+        out.write_text(record.to_json_line() + "\n")
+        result = run_campaign(CampaignSpec.of([spec]), out=out, resume=True)
+        assert result.records == []
+        assert result.skipped == [spec.cell_id()]
+
+
+class TestConcurrentAppend:
+    """Readers must tolerate a writer that is mid-line (satellite c).
+
+    The campaign JSONL is append-only and written with per-record flushes,
+    so the only torn state a concurrent reader can observe is a final
+    unterminated partial line.  `strict=False` readers (what `--resume`
+    uses) must skip exactly that tail and see every completed record.
+    """
+
+    def test_reader_skips_writer_midline_tail(self, tmp_path):
+        out = tmp_path / "live.jsonl"
+        specs = [ExperimentSpec(circuit="c17", pth=p) for p in (0.9, 0.95)]
+        records = [run_experiment(s) for s in specs]
+        with open(out, "w") as fh:
+            fh.write(records[0].to_json_line() + "\n")
+            # Writer crashes / is scheduled out halfway through record 2.
+            half = records[1].to_json_line()
+            fh.write(half[: len(half) // 2])
+            fh.flush()
+            seen = load_records(out, strict=False)
+            assert [r.spec.cell_id() for r in seen] == [specs[0].cell_id()]
+            # Writer resumes and finishes the line: reader now sees both.
+            fh.write(half[len(half) // 2 :] + "\n")
+            fh.flush()
+        seen = load_records(out, strict=False)
+        assert [r.spec.cell_id() for r in seen] == [s.cell_id() for s in specs]
+
+    def test_threaded_writer_reader_snapshots_are_consistent(self, tmp_path):
+        import threading
+
+        out = tmp_path / "race.jsonl"
+        out.touch()
+        record = run_experiment(ExperimentSpec(circuit="c17", pth=0.9))
+        line = record.to_json_line() + "\n"
+        n_writes = 50
+        stop = threading.Event()
+
+        def writer():
+            with open(out, "a") as fh:
+                for _ in range(n_writes):
+                    # Two syscalls per record maximizes the window in which
+                    # a reader can observe a torn line.
+                    fh.write(line[: len(line) // 2])
+                    fh.flush()
+                    fh.write(line[len(line) // 2 :])
+                    fh.flush()
+            stop.set()
+
+        counts = []
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    counts.append(len(load_records(out, strict=False)))
+                except Exception as exc:  # noqa: BLE001 - fail the test below
+                    errors.append(exc)
+
+        t_w = threading.Thread(target=writer)
+        t_r = threading.Thread(target=reader)
+        t_w.start()
+        t_r.start()
+        t_w.join()
+        t_r.join()
+        assert not errors
+        # Counts only grow (append-only file) and never exceed the total.
+        assert counts == sorted(counts)
+        assert all(0 <= c <= n_writes for c in counts)
+        assert len(load_records(out, strict=False)) == n_writes
+
+    def test_resume_last_record_wins_with_duplicate_hashes(self, tmp_path):
+        # Same cell appears three times (two stale errors, one success,
+        # interleaved): only the final record decides.
+        spec = ExperimentSpec(circuit="c17", pth=0.9)
+        good = run_experiment(spec)
+        bad = ExperimentRecord.failed(spec, "WorkerCrash: synthetic")
+        out = tmp_path / "dups.jsonl"
+        out.write_text(
+            bad.to_json_line()
+            + "\n"
+            + good.to_json_line()
+            + "\n"
+            + bad.to_json_line()
+            + "\n"
+        )
+        result = run_campaign(CampaignSpec.of([spec]), out=out, resume=True)
+        assert [r.spec.cell_id() for r in result.records] == [spec.cell_id()]
+        assert result.skipped == []

@@ -15,6 +15,7 @@ import pytest
 from repro.api import (
     CampaignSpec,
     CellSupervisor,
+    ChaosConfigError,
     ChaosSpec,
     ExperimentRecord,
     ExperimentSpec,
@@ -134,6 +135,38 @@ class TestChaosSpec:
         monkeypatch.setenv("REPRO_CHAOS", "{broken")
         with pytest.raises(ValueError, match="REPRO_CHAOS"):
             ChaosSpec.from_env()
+
+    def test_from_env_malformed_json_is_one_line_config_error(self, monkeypatch):
+        # A typo'd REPRO_CHAOS must fail with a single-line configuration
+        # error that names the variable, the JSON problem, and the raw
+        # value — not a bare json.JSONDecodeError traceback.
+        monkeypatch.setenv("REPRO_CHAOS", '{"seed": 5,}')
+        with pytest.raises(ChaosConfigError) as exc_info:
+            ChaosSpec.from_env()
+        message = str(exc_info.value)
+        assert "\n" not in message
+        assert "REPRO_CHAOS" in message
+        assert "not valid JSON" in message
+        assert '{"seed": 5,}' in message
+        assert exc_info.value.__cause__ is None  # chained traceback suppressed
+
+    def test_from_env_non_dict_payload(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "[1, 2]")
+        with pytest.raises(ChaosConfigError, match="JSON object"):
+            ChaosSpec.from_env()
+
+    def test_from_env_bad_field_names_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", '{"bogus": 1}')
+        with pytest.raises(ChaosConfigError) as exc_info:
+            ChaosSpec.from_env()
+        message = str(exc_info.value)
+        assert "\n" not in message
+        assert message.startswith("REPRO_CHAOS")
+        assert "unknown keys" in message
+
+    def test_config_error_is_value_error(self):
+        # Callers that predate the dedicated type still catch it.
+        assert issubclass(ChaosConfigError, ValueError)
 
     def test_selector_and_attempt_gating(self):
         injector = FaultInjector(ChaosSpec(error_cells=("pth=0.9|",), max_attempt=2))
