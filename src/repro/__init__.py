@@ -20,12 +20,13 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import api, atpg, bench, netlist, power, prob, sim, traces  # noqa: F401
+from . import api, atpg, bench, lint, netlist, power, prob, sim, traces  # noqa: F401
 
 __all__ = [
     "api",
     "atpg",
     "bench",
+    "lint",
     "netlist",
     "power",
     "prob",

@@ -17,6 +17,11 @@ legitimately differ between runs (wall-clock timings, structural
 compile-cache counters, worker id) live under :attr:`ExperimentRecord.
 runtime` and are excluded from the payload.
 
+This split is machine-enforced: ``repro lint`` flags nondeterministic
+expressions (``time.*``, ``os.environ``, ``platform.*``, ...) flowing into
+record payload fields (RPR201) and ``runtime``/``traces`` values read back
+into them (RPR202) — only the ``runtime=`` sinks accept tainted values.
+
 Cells are dispatched circuit-major, so same-benchmark cells drain through
 the pool together and each worker reuses its process-global structural
 compile cache of :mod:`repro.sim.compiled` — a worker compiles a given

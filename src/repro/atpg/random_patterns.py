@@ -23,9 +23,14 @@ from ..netlist.circuit import Circuit
 def flat_random_vectors(
     n_vectors: int, n_inputs: int, rng: Optional[np.random.Generator] = None
 ) -> np.ndarray:
-    """Uniform random 0/1 vectors (each input at p = 0.5)."""
+    """Uniform random 0/1 vectors (each input at p = 0.5).
+
+    With no ``rng`` the vectors come from a fixed-seed generator — library
+    code never draws fresh OS entropy (seed discipline, ``repro lint``
+    RPR102); pass a seeded Generator for independent draws.
+    """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = np.random.default_rng(0)
     return (rng.random((n_vectors, n_inputs)) < 0.5).astype(np.uint8)
 
 
@@ -34,9 +39,13 @@ def weighted_random_vectors(
     weights: Sequence[float],
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
-    """Per-input biased random vectors (weighted random testing)."""
+    """Per-input biased random vectors (weighted random testing).
+
+    Unseeded calls draw from a fixed-seed generator, like
+    :func:`flat_random_vectors`.
+    """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = np.random.default_rng(0)
     weights_arr = np.asarray(weights, dtype=float)
     if np.any((weights_arr < 0) | (weights_arr > 1)):
         raise ValueError("weights must be probabilities in [0, 1]")

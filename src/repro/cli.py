@@ -25,6 +25,9 @@ Commands
 ``prob``       report rare nodes at a probability threshold
 ``power``      report power/area of a circuit under the 65nm-class model
 ``equiv``      SAT equivalence check between two .bench files
+``lint``       AST-based invariant checker over the source tree (seed
+               discipline, payload purity, backend routing, service
+               lock/import hygiene); ``--json`` for machine findings
 
 Circuit arguments accept any name in the :data:`repro.api.CIRCUITS` registry
 (c17, c432, c499, c880, c1355, c1908, c3540, c6288, plus anything registered
@@ -489,6 +492,14 @@ def _cmd_equiv(args: argparse.Namespace) -> int:
     return 0 if bool(result) else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import run_lint
+
+    return run_lint(
+        args.paths, as_json=args.json, allow=args.allow, select=args.select
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -650,6 +661,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("candidate")
     p.add_argument("--random-vectors", type=int, default=512)
     p.set_defaults(func=_cmd_equiv)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST-based invariant checker (seed discipline, payload "
+             "purity, backend routing, service hygiene); exits 1 on "
+             "any finding",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to check (default: src/)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable findings "
+                        "(rule, path, line, snippet)")
+    p.add_argument("--allow", metavar="FILE", default=None,
+                   help="suppression allowlist file (path:CODE or "
+                        "path:line:CODE per line); the shipped tree "
+                        "needs none")
+    p.add_argument("--select", metavar="CODES", default=None,
+                   help="comma-separated rule codes to run (default: all)")
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -1,0 +1,142 @@
+"""AST walking core shared by every rule.
+
+:class:`ModuleContext` wraps one parsed source file with the bookkeeping
+rules need over and over: a parent map (``ast`` has none), the dotted
+module name (so rules can scope themselves to ``repro.sim`` vs
+``repro.service``), dotted-name resolution for attribute chains
+(``np.random.default_rng``), enclosing-scope queries, and
+``with <...>._lock:`` block detection for the lock-discipline checker.
+
+Everything here is stdlib-only and purely syntactic: no imports of the
+checked code ever happen, so the linter can run in a bare interpreter and
+can never be confused by import-time side effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+#: Attribute names treated as mutual-exclusion guards in ``with`` blocks.
+LOCK_ATTR_NAMES = frozenset({"_lock", "lock"})
+
+_PARENT_FIELD = "_repro_lint_parent"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Resolve ``Name``/``Attribute`` chains to a dotted string.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``; anything with
+    a non-name base (calls, subscripts) resolves to ``None``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ModuleContext:
+    """One source file, parsed once, shared by all rules."""
+
+    def __init__(
+        self,
+        source: str,
+        path: Union[str, Path] = "<source>",
+        module: Optional[str] = None,
+    ):
+        self.path = str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.path)
+        self.module = module if module is not None else self._infer_module()
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                setattr(child, _PARENT_FIELD, parent)
+
+    # -- identity ------------------------------------------------------
+    def _infer_module(self) -> str:
+        """Dotted module name from the path: the part from the first
+        ``repro`` component on (``.../src/repro/sim/bitsim.py`` ->
+        ``repro.sim.bitsim``); files outside a ``repro`` tree keep their
+        stem so scoped rules simply never match them."""
+        parts = list(Path(self.path).with_suffix("").parts)
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        else:
+            parts = parts[-1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def in_package(self, *packages: str) -> bool:
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    # -- navigation ----------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, _PARENT_FIELD, None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    def functions(
+        self,
+    ) -> Iterator[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def calls(self) -> Iterator[ast.Call]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                yield node
+
+    # -- lock blocks ---------------------------------------------------
+    @staticmethod
+    def _is_lock_expr(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Attribute) and expr.attr in LOCK_ATTR_NAMES:
+            return True
+        return isinstance(expr, ast.Name) and expr.id in LOCK_ATTR_NAMES
+
+    def is_lock_with(self, node: ast.AST) -> bool:
+        """``with self._lock:`` / ``with server._lock:`` style blocks."""
+        return isinstance(node, (ast.With, ast.AsyncWith)) and any(
+            self._is_lock_expr(item.context_expr) for item in node.items
+        )
+
+    def inside_lock(self, node: ast.AST) -> bool:
+        return any(self.is_lock_with(anc) for anc in self.ancestors(node))
+
+    def has_lock_blocks(self) -> bool:
+        return any(self.is_lock_with(n) for n in ast.walk(self.tree))
+
+    # -- reporting helpers ---------------------------------------------
+    def snippet(self, node: ast.AST) -> str:
+        lineno = getattr(node, "lineno", 0)
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""

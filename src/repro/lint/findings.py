@@ -1,0 +1,39 @@
+"""Finding: one rule violation at one source location.
+
+Findings render in the classic ``file:line: CODE message`` shape that CI
+log-scrapers and editors already understand, and carry enough structure
+(rule code, column, snippet) for the ``--json`` machine-readable mode that
+pre-commit hooks and future tooling consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: sortable by (path, line, col, code) for stable output."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    #: The offending source line, stripped — context for humans and JSON
+    #: consumers without re-reading the file.
+    snippet: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }

@@ -1,0 +1,57 @@
+"""Rule registry: codes, rationales, and the dispatch loop.
+
+Every rule is a function ``check(ctx) -> Iterator[Finding]`` registered
+under a stable ``RPRxxx`` code with a one-line name and the rationale
+naming the PR-era guarantee it protects.  ``run_rules`` executes a
+(filtered) set of rules over one :class:`~repro.lint.context.ModuleContext`
+and returns sorted findings; allowlist filtering happens in the CLI layer
+so programmatic callers always see the raw truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from .context import ModuleContext
+from .findings import Finding
+
+CheckFn = Callable[[ModuleContext], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    code: str
+    name: str
+    #: Which guarantee this rule protects (shown by ``--list-rules``).
+    rationale: str
+    check: CheckFn
+
+
+#: All registered rules, keyed by code (insertion-ordered).
+RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, rationale: str) -> Callable[[CheckFn], CheckFn]:
+    """Register a check function under ``code``; re-registration is a bug."""
+
+    def decorate(fn: CheckFn) -> CheckFn:
+        if code in RULES:
+            raise ValueError(f"duplicate lint rule code {code}")
+        RULES[code] = Rule(code=code, name=name, rationale=rationale, check=fn)
+        return fn
+
+    return decorate
+
+
+def run_rules(
+    ctx: ModuleContext, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """All findings for one module, sorted by location then code."""
+    selected = set(select) if select is not None else None
+    findings: List[Finding] = []
+    for code, rl in RULES.items():
+        if selected is not None and code not in selected:
+            continue
+        findings.extend(rl.check(ctx))
+    return sorted(findings)

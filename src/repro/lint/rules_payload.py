@@ -1,0 +1,224 @@
+"""R2 — payload purity (RPR201..RPR202).
+
+Everything in ``ExperimentRecord.payload_dict()`` must be a pure function
+of the spec: that equality is what CI's service smoke byte-compares, what
+makes the spec-hash result cache sound (PR 8), and what lets two fleets
+share results.  Execution artifacts — wall clocks, env probes, host names
+— belong in the ``runtime``/``traces`` diagnostics sections, which
+``payload_dict()`` excludes.
+
+The checker scopes itself to modules that construct records (a call to
+``ExperimentRecord(...)``, one of its classmethod constructors, or
+``cls(...)`` inside the record class) and uses one-hop taint tracking per
+function: a name bound from a nondeterministic call — or from a dict
+literal containing one — is tainted, and tainted expressions may only
+reach the sanctioned non-payload arguments.
+
+* **RPR201** — a nondeterministic value (``time.*``, ``os.environ``,
+  ``platform.*``, ...) flows into a payload field of a record
+  construction.
+* **RPR202** — a ``runtime``/``traces`` diagnostics key is read back into
+  a payload field (diagnostics must never round-trip into payloads).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .config import (
+    NONDETERMINISTIC_CALLS,
+    RECORD_CLASSES,
+    RECORD_CONSTRUCTORS,
+    RUNTIME_SECTION_KEYS,
+)
+from .context import ModuleContext, dotted_name
+from .findings import Finding
+from .registry import rule
+
+_ND_EXACT = frozenset(n for n in NONDETERMINISTIC_CALLS if not n.endswith("."))
+_ND_PREFIXES = tuple(n for n in NONDETERMINISTIC_CALLS if n.endswith("."))
+
+
+def _is_nd_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    return name in _ND_EXACT or name.startswith(_ND_PREFIXES)
+
+
+def _contains_nd_call(node: ast.AST) -> Optional[ast.AST]:
+    for sub in ast.walk(node):
+        if _is_nd_call(sub):
+            return sub
+        # ``os.environ[...]`` reads are environment probes too.
+        if isinstance(sub, ast.Subscript):
+            if dotted_name(sub.value) in ("os.environ", "environ"):
+                return sub
+    return None
+
+
+def _record_call_spec(
+    ctx: ModuleContext, call: ast.Call
+) -> Optional[Tuple[str, Dict[str, set]]]:
+    """(constructor name, exempt-arg spec) when ``call`` builds a record."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    if name == "cls":
+        cls_def = ctx.enclosing_class(call)
+        if cls_def is None or cls_def.name not in RECORD_CLASSES:
+            return None
+        return name, RECORD_CONSTRUCTORS["cls"]
+    # Match on the trailing components so `runner.ExperimentRecord.from_run`
+    # and plain `ExperimentRecord.from_run` both resolve.
+    for ctor, spec in RECORD_CONSTRUCTORS.items():
+        if ctor == "cls":
+            continue
+        if name == ctor or name.endswith("." + ctor):
+            return ctor, spec
+    return None
+
+
+def _payload_args(
+    call: ast.Call, exempt: Dict[str, set]
+) -> Iterator[ast.AST]:
+    """The argument expressions that land in payload fields."""
+    for idx, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            continue
+        if idx not in exempt["positions"]:
+            yield arg
+    for kw in call.keywords:
+        if kw.arg is None:  # **splat: opaque, skip
+            continue
+        if kw.arg not in exempt["kwargs"]:
+            yield kw.value
+
+
+def _tainted_names(fn: ast.AST) -> Set[str]:
+    """Names bound (one hop, plus dict-literal aggregation) from
+    nondeterministic calls within one function body."""
+    tainted: Set[str] = set()
+    # Two passes so a dict literal picks up names tainted later in pass 1
+    # regardless of statement order quirks.
+    for _ in range(2):
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            value_tainted = _contains_nd_call(node.value) is not None or any(
+                isinstance(sub, ast.Name) and sub.id in tainted
+                for sub in ast.walk(node.value)
+            )
+            if not value_tainted:
+                continue
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        tainted.add(sub.id)
+    return tainted
+
+
+def _expr_taint(node: ast.AST, tainted: Set[str]) -> Optional[ast.AST]:
+    nd = _contains_nd_call(node)
+    if nd is not None:
+        return nd
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in tainted:
+            return sub
+    return None
+
+
+def _record_calls(
+    ctx: ModuleContext,
+) -> Iterator[Tuple[ast.Call, str, Dict[str, set], Set[str]]]:
+    taint_cache: Dict[int, Set[str]] = {}
+    for call in ctx.calls():
+        matched = _record_call_spec(ctx, call)
+        if matched is None:
+            continue
+        ctor, exempt = matched
+        fn = ctx.enclosing_function(call)
+        key = id(fn)
+        if key not in taint_cache:
+            taint_cache[key] = _tainted_names(fn if fn is not None else ctx.tree)
+        yield call, ctor, exempt, taint_cache[key]
+
+
+def _finding(ctx: ModuleContext, node: ast.AST, code: str, msg: str) -> Finding:
+    return Finding(
+        path=ctx.path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=msg,
+        snippet=ctx.snippet(node),
+    )
+
+
+@rule(
+    "RPR201",
+    "nondeterministic value in record payload",
+    "payload-bit-parity (PR 3) / spec-hash cache soundness (PR 8): "
+    "payloads must be pure functions of the spec",
+)
+def check_payload_purity(ctx: ModuleContext) -> Iterator[Finding]:
+    for call, ctor, exempt, tainted in _record_calls(ctx):
+        for arg in _payload_args(call, exempt):
+            hit = _expr_taint(arg, tainted)
+            if hit is not None:
+                what = (
+                    dotted_name(getattr(hit, "func", hit))
+                    or getattr(hit, "id", None)
+                    or "nondeterministic value"
+                )
+                yield _finding(
+                    ctx, arg, "RPR201",
+                    f"`{what}` flows into a payload field of `{ctor}`; "
+                    "execution artifacts belong in the non-payload "
+                    "`runtime=` section",
+                )
+
+
+@rule(
+    "RPR202",
+    "diagnostics key read into record payload",
+    "runtime/traces sections are excluded from payload_dict(); copying "
+    "them into payload fields breaks parallel==serial parity (PR 3)",
+)
+def check_runtime_readback(ctx: ModuleContext) -> Iterator[Finding]:
+    for call, ctor, exempt, _tainted in _record_calls(ctx):
+        for arg in _payload_args(call, exempt):
+            for sub in ast.walk(arg):
+                key: Optional[str] = None
+                if isinstance(sub, ast.Subscript):
+                    sl = sub.slice
+                    if (
+                        isinstance(sl, ast.Constant)
+                        and isinstance(sl.value, str)
+                        and sl.value in RUNTIME_SECTION_KEYS
+                    ):
+                        key = sl.value
+                elif isinstance(sub, ast.Attribute):
+                    if sub.attr in RUNTIME_SECTION_KEYS:
+                        key = sub.attr
+                elif isinstance(sub, ast.Call):
+                    # ``rec.get("runtime")`` / ``rec_dict.get("traces")``
+                    fn_name = dotted_name(sub.func) or ""
+                    if fn_name.endswith(".get") and sub.args:
+                        first: ast.AST = sub.args[0]
+                        if (
+                            isinstance(first, ast.Constant)
+                            and isinstance(first.value, str)
+                            and first.value in RUNTIME_SECTION_KEYS
+                        ):
+                            key = first.value
+                if key is not None:
+                    yield _finding(
+                        ctx, sub, "RPR202",
+                        f"diagnostics section `{key}` read into a payload "
+                        f"field of `{ctor}`; payloads never include "
+                        "runtime/diagnostics data",
+                    )

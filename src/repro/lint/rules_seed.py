@@ -1,0 +1,135 @@
+"""R1 — seed discipline (RPR101..RPR103).
+
+All randomness in this repo flows from one master seed through
+``derive_seed``/``SeedSequence`` — that is what makes parallel and serial
+campaign runs payload-bit-identical (PR 3) and what makes the fleet
+service's spec-hash result cache sound (PR 8: a payload is a pure function
+of its spec, so no cell is ever computed twice).  Three ways the codebase
+has historically leaked entropy around that funnel, now machine-checked:
+
+* **RPR101** — the legacy module-level ``np.random.*`` API (hidden
+  process-global state, unseedable per experiment).
+* **RPR102** — argless ``default_rng()`` (fresh OS entropy) and stdlib
+  ``random`` imports in library code.
+* **RPR103** — ``rng`` truthiness defaults (``rng = rng or ...``): the
+  exact ``rng or``-bug class PR 7 had to hand-sweep across five packages.
+  A Generator is always truthy and an ndarray raises, so truthiness is
+  never the None-check it pretends to be; the idiom is ``if rng is None``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .config import LEGACY_NP_RANDOM, RNG_NAME_RE
+from .context import ModuleContext, dotted_name
+from .findings import Finding
+from .registry import rule
+
+#: Both the conventional alias and the full module path.
+_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+
+def _finding(ctx: ModuleContext, node: ast.AST, code: str, msg: str) -> Finding:
+    return Finding(
+        path=ctx.path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=msg,
+        snippet=ctx.snippet(node),
+    )
+
+
+@rule(
+    "RPR101",
+    "legacy np.random global-state API",
+    "payload-bit-parity (PR 3) / cache soundness (PR 8): module-level "
+    "numpy RNG state cannot be derived from the experiment seed",
+)
+def check_legacy_np_random(ctx: ModuleContext) -> Iterator[Finding]:
+    for call in ctx.calls():
+        name = dotted_name(call.func)
+        if name is None:
+            continue
+        for prefix in _NP_RANDOM_PREFIXES:
+            if name.startswith(prefix):
+                fn = name[len(prefix):]
+                if fn in LEGACY_NP_RANDOM:
+                    yield _finding(
+                        ctx, call, "RPR101",
+                        f"legacy global-state RNG call `{name}`; construct a "
+                        "seeded Generator instead: "
+                        "`np.random.default_rng(derive_seed(seed, idx))`",
+                    )
+
+
+@rule(
+    "RPR102",
+    "unseeded entropy source in library code",
+    "payload-bit-parity (PR 3) / cache soundness (PR 8): fresh OS entropy "
+    "makes the same spec produce different payloads",
+)
+def check_unseeded_entropy(ctx: ModuleContext) -> Iterator[Finding]:
+    for call in ctx.calls():
+        name = dotted_name(call.func)
+        if name is None:
+            continue
+        if (
+            name in ("np.random.default_rng", "numpy.random.default_rng")
+            and not call.args
+            and not call.keywords
+        ):
+            yield _finding(
+                ctx, call, "RPR102",
+                "argless `default_rng()` draws fresh OS entropy; seed it "
+                "(via `derive_seed`/`SeedSequence`, or a documented "
+                "deterministic default)",
+            )
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    yield _finding(
+                        ctx, node, "RPR102",
+                        "stdlib `random` is process-global unseeded state; "
+                        "use `np.random.default_rng(derive_seed(...))`",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and (node.module or "").split(".")[0] == "random":
+                yield _finding(
+                    ctx, node, "RPR102",
+                    "stdlib `random` is process-global unseeded state; "
+                    "use `np.random.default_rng(derive_seed(...))`",
+                )
+
+
+def _is_rng_name(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and RNG_NAME_RE.match(node.id) is not None
+
+
+@rule(
+    "RPR103",
+    "rng truthiness default",
+    "the PR 7 `rng or`-bug class: Generators are always truthy and arrays "
+    "raise, so truthiness is not a None check",
+)
+def check_rng_truthiness(ctx: ModuleContext) -> Iterator[Finding]:
+    def fixit(name: str) -> str:
+        return (
+            f"`{name}` used as a boolean; default it with "
+            f"`if {name} is None:` — truthiness is not a None check"
+        )
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                if _is_rng_name(value):
+                    yield _finding(ctx, value, "RPR103", fixit(value.id))
+        elif isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            test = node.test
+            if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+                test = test.operand
+            if _is_rng_name(test):
+                yield _finding(ctx, node.test, "RPR103", fixit(test.id))

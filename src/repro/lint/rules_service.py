@@ -1,0 +1,156 @@
+"""R4 — service hygiene (RPR401..RPR402).
+
+The fleet service (PR 8) makes two structural promises:
+
+* **Deployability** — ``repro/service/`` runs on a bare interpreter: the
+  job-queue server, typed client, wire protocol, and result cache import
+  stdlib and repro only.  The columnar :mod:`repro.service.store` is the
+  one declared numeric boundary (per-column ``.npy`` compaction needs
+  numpy); nothing else in the package may grow a third-party import.
+* **Job-table consistency** — :class:`~repro.service.server.FleetServer`
+  shares ``_Job`` state between ThreadingHTTPServer handler threads, the
+  drain thread, and per-job producer threads; every mutation happens
+  inside ``with self._lock:``.
+
+* **RPR401** — non-stdlib, non-repro import in a service module (numpy
+  allowed only in the declared store boundary).
+* **RPR402** — lock discipline, lightweight and self-calibrating: in any
+  module containing ``with <...>._lock:`` blocks, the set of attribute
+  names ever *mutated inside* a lock block is the guarded shared state;
+  mutating one of those attributes outside a lock block (anywhere but
+  ``__init__``-family methods, which run before the object is shared) is
+  a violation.  Covers plain stores, augmented stores, subscript stores,
+  and in-place container mutations (``x.records.append(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from .config import (
+    LOCK_EXEMPT_FUNCTIONS,
+    MUTATING_METHODS,
+    SERVICE_BOUNDARY_IMPORTS,
+    SERVICE_NUMERIC_BOUNDARY,
+    SERVICE_PACKAGE,
+    STDLIB_MODULES,
+)
+from .context import ModuleContext
+from .findings import Finding
+from .registry import rule
+
+
+def _finding(ctx: ModuleContext, node: ast.AST, code: str, msg: str) -> Finding:
+    return Finding(
+        path=ctx.path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=msg,
+        snippet=ctx.snippet(node),
+    )
+
+
+@rule(
+    "RPR401",
+    "service modules import stdlib + repro only",
+    "fleet-service deployability (PR 8): `repro serve` must run on a bare "
+    "interpreter; the columnar store is the only numpy boundary",
+)
+def check_service_imports(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.in_package(SERVICE_PACKAGE):
+        return
+    roots: List[Tuple[ast.AST, str]] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            roots.extend((node, alias.name.split(".")[0]) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            roots.append((node, (node.module or "").split(".")[0]))
+    for node, root in roots:
+        if not root or root in STDLIB_MODULES or root == "repro":
+            continue
+        if (
+            ctx.module in SERVICE_NUMERIC_BOUNDARY
+            and root in SERVICE_BOUNDARY_IMPORTS
+        ):
+            continue
+        yield _finding(
+            ctx, node, "RPR401",
+            f"third-party import `{root}` in a service module; "
+            "repro/service/ is stdlib-only (the columnar store is the "
+            "declared numpy boundary)",
+        )
+
+
+# -- RPR402: lock discipline ------------------------------------------------
+
+
+def _mutated_attr(node: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+    """(location, attribute-name) when ``node`` mutates ``<recv>.<attr>``.
+
+    Recognized shapes: ``x.attr = v`` / ``x.attr += v`` / ``x.attr[k] = v``
+    and ``x.attr.append(v)``-style in-place container mutation.
+    """
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            for t in ast.walk(target):
+                if isinstance(t, ast.Attribute):
+                    return t, t.attr
+                if isinstance(t, ast.Subscript) and isinstance(
+                    t.value, ast.Attribute
+                ):
+                    return t, t.value.attr
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in MUTATING_METHODS and isinstance(
+            node.func.value, ast.Attribute
+        ):
+            return node, node.func.value.attr
+    return None
+
+
+def _in_exempt_function(ctx: ModuleContext, node: ast.AST) -> bool:
+    fn = ctx.enclosing_function(node)
+    return fn is not None and fn.name in LOCK_EXEMPT_FUNCTIONS
+
+
+@rule(
+    "RPR402",
+    "shared-state mutation outside the lock",
+    "job-table consistency (PR 8): handler/drain/producer threads mutate "
+    "FleetServer job state only inside `with self._lock:`",
+)
+def check_lock_discipline(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.has_lock_blocks():
+        return
+    # Pass 1: attribute names mutated under a lock anywhere in the module
+    # define the guarded shared state.
+    guarded: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        mut = _mutated_attr(node)
+        if mut is not None and ctx.inside_lock(node):
+            guarded.add(mut[1])
+    if not guarded:
+        return
+    # Pass 2: mutations of guarded attributes outside any lock block.
+    seen: Set[Tuple[int, int, str]] = set()
+    for node in ast.walk(ctx.tree):
+        mut = _mutated_attr(node)
+        if mut is None:
+            continue
+        loc, attr = mut
+        if attr not in guarded or ctx.inside_lock(node):
+            continue
+        if _in_exempt_function(ctx, node):
+            continue
+        key = (getattr(loc, "lineno", 0), getattr(loc, "col_offset", 0), attr)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield _finding(
+            ctx, loc, "RPR402",
+            f"`{attr}` is lock-guarded shared state (mutated under "
+            "`_lock` elsewhere in this module) but is mutated here "
+            "outside any `with self._lock:` block",
+        )

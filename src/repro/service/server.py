@@ -22,6 +22,11 @@ Threading model (deliberately boring)::
                                long cell runs, and so cancellation takes
                                effect at the next cell boundary
 
+``repro lint`` enforces both halves of this model statically: RPR401 keeps
+the package stdlib-only (deployable on a bare interpreter; the columnar
+store is the one declared numpy boundary) and RPR402 flags mutations of
+lock-guarded attributes that happen outside ``with self._lock:``.
+
 Graceful shutdown (:meth:`close` / SIGINT in the CLI): stop accepting
 jobs, ask the running job to stop at its next cell boundary, drain the
 producer, compact the store, then stop the HTTP listener.  Records already

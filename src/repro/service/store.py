@@ -19,6 +19,10 @@ projection, and a detection-rate aggregate — because rows come back as
 plain numpy arrays: anything fancier composes in user code with boolean
 masks.
 
+This module is the *declared numpy boundary* of the otherwise stdlib-only
+service package (``repro lint`` RPR401): per-column ``.npy`` compaction is
+the one place ``repro/service/`` may import numpy.
+
 Example::
 
     store = ResultStore("results_store")

@@ -32,6 +32,14 @@ This module is also the single home of the 64-bit word constants that were
 historically re-declared per module; :mod:`repro.sim.bitsim` re-exports
 them as the stable public import point (``WORD_BITS``, ``ALL_ONES``,
 ``FULL_MASK``).
+
+Enforcement
+-----------
+This module is the declared backend boundary for ``repro lint``'s routing
+rules (RPR301/RPR302): kernel packages may use ``np.<attr>`` only from the
+frozen host-side surface (dtypes, pack/unpack, staging, host stats), and
+device compute must reach arrays through this shim.  Inside this file the
+whitelist does not apply — it *is* the numpy side of the boundary.
 """
 
 from __future__ import annotations

@@ -268,9 +268,14 @@ def random_patterns(
     rng: Optional[np.random.Generator] = None,
     p_one: float = 0.5,
 ) -> np.ndarray:
-    """Random 0/1 pattern block, optionally biased toward 1 with ``p_one``."""
+    """Random 0/1 pattern block, optionally biased toward 1 with ``p_one``.
+
+    With no ``rng`` the block is drawn from a fixed-seed generator — library
+    code never draws fresh OS entropy (seed discipline, ``repro lint``
+    RPR102); pass a seeded Generator for independent draws.
+    """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = np.random.default_rng(0)
     return (rng.random((n_patterns, n_inputs)) < p_one).astype(np.uint8)
 
 
